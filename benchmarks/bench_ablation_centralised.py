@@ -1,0 +1,41 @@
+"""A-local ablation: local agents vs a centralised resident monitor as
+the fleet grows (§3.4: "centralised management methodologies have been
+proven unsuccessful in big complex environments").
+
+Shape asserted: the central console's cost grows linearly with the
+fleet and saturates a 2002-class console box around the paper's fleet
+size, while the agent coordinators stay near-idle.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def _run():
+    return ablations.centralised_comparison((10, 50, 100, 200, 400))
+
+
+def test_centralised_vs_local(one_shot):
+    rows = one_shot(_run)
+    emit(ablations.format_centralised(rows))
+
+    console = [r["console_cpu_pct"] for r in rows]
+    admin = [r["admin_cpu_pct"] for r in rows]
+    fleets = [r["fleet"] for r in rows]
+
+    # both grow with fleet size, but at wildly different slopes
+    assert console == sorted(console)
+    assert admin == sorted(admin)
+    slope_console = (console[-1] - console[0]) / (fleets[-1] - fleets[0])
+    slope_admin = (admin[-1] - admin[0]) / (fleets[-1] - fleets[0])
+    assert slope_console > 50 * slope_admin
+
+    # at the paper's ~200-server scale the console is already eating
+    # most of a CPU, the coordinators a rounding error
+    at200 = next(r for r in rows if r["fleet"] == 200)
+    assert at200["console_cpu_pct"] > 25.0
+    assert at200["admin_cpu_pct"] < 1.0
+
+    # memory tells the same story
+    assert at200["console_mem_mb"] > 20 * at200["admin_mem_mb"]

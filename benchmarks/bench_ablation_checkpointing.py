@@ -1,0 +1,41 @@
+"""A-ckpt ablation (extension): job checkpointing under DGSPL rescue.
+
+The paper's related work cites checkpointing [18] as an established
+recovery technique; its own system resubmits failed jobs from scratch.
+This ablation adds checkpointing to the rescued jobs and sweeps the
+interval: the smaller the interval, the less work a mid-job database
+crash destroys, so rescue turnaround falls monotonically while banked
+work grows.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def _run():
+    return ablations.checkpointing_comparison(seed=3, days=3.0)
+
+
+def test_checkpointing_sweep(one_shot):
+    rows = one_shot(_run)
+    emit(ablations.format_checkpointing(rows))
+
+    # rows ordered none -> coarse -> fine
+    turnaround = [r["rescue_turnaround_h"] for r in rows]
+    banked = [r["mean_banked_h"] for r in rows]
+
+    assert all(r["rescued"] > 10 for r in rows)
+
+    # no checkpointing banks nothing; finer intervals bank more
+    assert banked[0] == 0.0
+    assert banked == sorted(banked)
+
+    # rescue turnaround falls monotonically with finer checkpoints
+    assert all(a >= b - 0.05 for a, b in zip(turnaround, turnaround[1:]))
+    # and the end-to-end win vs no checkpointing is material (>10 %)
+    assert turnaround[-1] < 0.9 * turnaround[0]
+
+    # completion is not harmed by checkpointing
+    rates = [r["completion_rate"] for r in rows]
+    assert min(rates) > rates[0] - 0.05

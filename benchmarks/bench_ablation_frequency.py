@@ -1,0 +1,39 @@
+"""A-freq ablation: the agent wake period X.
+
+§3.3 calls X "an adjustable parameter" (default 5 minutes).  The sweep
+shows downtime growing with X -- and that the marginal value of waking
+more often than every few minutes is small, because repair time (not
+detection) then dominates.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def _run():
+    return ablations.frequency_sweep(seed=0, replications=3)
+
+
+def test_frequency_sweep(one_shot):
+    rows = one_shot(_run)
+    emit(ablations.format_frequency(rows))
+
+    downtimes = [r["downtime_h"] for r in rows]
+    periods = [r["period_min"] for r in rows]
+    assert periods == sorted(periods)
+
+    # downtime grows with the wake period overall
+    assert downtimes[-1] > downtimes[0]
+    # hourly wakes are clearly worse than the 5-minute default
+    five = downtimes[periods.index(5)]
+    hourly = downtimes[periods.index(60)]
+    assert hourly > five * 1.1
+
+    # diminishing returns below the default: 1-minute wakes buy little
+    one = downtimes[periods.index(1)]
+    assert (five - one) < 0.4 * (hourly - five)
+
+    # detection latency tracks the grid
+    det = [r["mean_detection_h"] for r in rows]
+    assert det == sorted(det)

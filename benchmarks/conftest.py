@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's evaluation artefacts,
+prints the paper-vs-measured table (run pytest with ``-s`` to see
+them; they are also asserted structurally), and reports its wall time
+through pytest-benchmark.  The heavy simulations run one round --
+they are experiments, not microbenchmarks.
+"""
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a result table under pytest's capture (visible with -s,
+    and in the captured-output section otherwise)."""
+    print("\n" + text)
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run an expensive experiment exactly once under the benchmark
+    timer and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,122 @@
+"""Command-line experiment runner.
+
+``repro-exp <experiment>`` regenerates any of the paper's evaluation
+artefacts from the terminal:
+
+.. code-block:: text
+
+    repro-exp fig2 --replications 5
+    repro-exp fig3
+    repro-exp fig4
+    repro-exp latency
+    repro-exp mttr
+    repro-exp ablation-frequency
+    repro-exp ablation-resubmission
+    repro-exp ablation-network
+    repro-exp ablation-centralised
+    repro-exp all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _fig2(args) -> str:
+    from repro.experiments import fig2
+    seeds = list(range(args.seed, args.seed + args.replications))
+    return fig2.format_result(fig2.run_replicated(seeds))
+
+
+def _fig3(args) -> str:
+    from repro.experiments import overhead
+    return overhead.format_cpu(overhead.run(seed=args.seed))
+
+
+def _fig4(args) -> str:
+    from repro.experiments import overhead
+    return overhead.format_memory(overhead.run(seed=args.seed))
+
+
+def _latency(args) -> str:
+    from repro.experiments import latency
+    return latency.format_result(latency.run(seed=args.seed))
+
+
+def _mttr(args) -> str:
+    from repro.experiments import mttr
+    return mttr.format_result(mttr.run(seed=args.seed))
+
+
+def _ablation_frequency(args) -> str:
+    from repro.experiments import ablations
+    return ablations.format_frequency(
+        ablations.frequency_sweep(seed=args.seed))
+
+
+def _ablation_resubmission(args) -> str:
+    from repro.experiments import ablations
+    return ablations.format_resubmission(
+        ablations.resubmission_comparison(seed=args.seed))
+
+
+def _ablation_network(args) -> str:
+    from repro.experiments import ablations
+    return ablations.format_network(
+        ablations.network_failover(seed=args.seed))
+
+
+def _ablation_centralised(args) -> str:
+    from repro.experiments import ablations
+    return ablations.format_centralised(
+        ablations.centralised_comparison())
+
+
+def _ablation_checkpointing(args) -> str:
+    from repro.experiments import ablations
+    return ablations.format_checkpointing(
+        ablations.checkpointing_comparison(seed=args.seed))
+
+
+_EXPERIMENTS = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "latency": _latency,
+    "mttr": _mttr,
+    "ablation-frequency": _ablation_frequency,
+    "ablation-resubmission": _ablation_resubmission,
+    "ablation-network": _ablation_network,
+    "ablation-centralised": _ablation_centralised,
+    "ablation-checkpointing": _ablation_checkpointing,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduce the evaluation of Corsava & Getov, "
+                    "'Improving Quality of Service in Application "
+                    "Clusters' (IPDPS 2003).")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which artefact to regenerate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--replications", type=int, default=5,
+                        help="fault-draw replications (fig2)")
+    args = parser.parse_args(argv)
+
+    names = (sorted(_EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    for name in names:
+        print(_EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Simulated Unix cluster substrate.
+
+The paper's pilot site was a fleet of Sun, HP, IBM and Linux servers.
+This package models the pieces of that fleet the intelliagents interact
+with: server hardware (:mod:`specs`, :mod:`hardware`), a Unix-ish
+process table (:mod:`process`), filesystem (:mod:`filesystem`), syslog
+(:mod:`syslog`), a shell-command layer exposing ``vmstat``/``iostat``/
+``ps``-style tools (:mod:`shell`), a cron daemon (:mod:`cron`), the
+:class:`~repro.cluster.host.Host` tying them together, and the
+:class:`~repro.cluster.datacenter.Datacenter` assembly.
+
+Agents never reach into host internals directly: like the paper's shell
+agents they run commands, read exit codes and parse ASCII output.
+"""
+
+from repro.cluster.specs import ServerSpec, SPEC_CATALOGUE, spec
+from repro.cluster.hardware import Component, ComponentKind, HardwareInventory
+from repro.cluster.process import ProcState, ProcessTable, SimProc
+from repro.cluster.filesystem import FileSystem, FsError, FsFullError
+from repro.cluster.syslog import Syslog, SyslogRecord
+from repro.cluster.shell import CommandResult, Shell
+from repro.cluster.cron import Crond, CronJob
+from repro.cluster.host import Host, HostState
+from repro.cluster.datacenter import Datacenter
+
+__all__ = [
+    "ServerSpec", "SPEC_CATALOGUE", "spec",
+    "Component", "ComponentKind", "HardwareInventory",
+    "ProcState", "ProcessTable", "SimProc",
+    "FileSystem", "FsError", "FsFullError",
+    "Syslog", "SyslogRecord",
+    "CommandResult", "Shell",
+    "Crond", "CronJob",
+    "Host", "HostState",
+    "Datacenter",
+]

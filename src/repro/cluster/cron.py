@@ -1,0 +1,110 @@
+"""Cron daemon.
+
+Intelliagents "are 'awakened' every X minutes ... by local to each host
+Unix crons".  The cron model keeps jobs on an absolute time grid
+(``k * period + offset``) so that wake times are predictable across
+host downtime: a host that was down through three wakes resumes on the
+same grid once it boots, exactly like a real crond restarting.
+
+The cron daemon itself is a process (``crond``) that can die -- one of
+the failure modes the administration servers' flag watchdog catches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.calendar import next_grid
+
+__all__ = ["CronJob", "Crond"]
+
+
+@dataclass
+class CronJob:
+    """One crontab entry."""
+
+    name: str
+    period: float               # seconds
+    fn: Callable[[], None]
+    offset: float = 0.0
+    enabled: bool = True
+    runs: int = 0
+    missed: int = 0             # grid points skipped (host/crond down)
+    last_run: Optional[float] = None
+
+
+class Crond:
+    """Per-host cron daemon on an absolute grid."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.jobs: Dict[str, CronJob] = {}
+        self.running = True
+        self._events: Dict[str, object] = {}
+
+    # -- crontab management --------------------------------------------------
+
+    def register(self, name: str, period: float, fn: Callable[[], None],
+                 offset: float = 0.0) -> CronJob:
+        """Install a job; replaces an existing one of the same name."""
+        if period <= 0:
+            raise ValueError(f"cron period must be positive: {period!r}")
+        self.remove(name)
+        job = CronJob(name, float(period), fn, float(offset))
+        self.jobs[name] = job
+        self._arm(job)
+        return job
+
+    def remove(self, name: str) -> bool:
+        job = self.jobs.pop(name, None)
+        ev = self._events.pop(name, None)
+        if ev is not None:
+            ev.cancel()
+        return job is not None
+
+    def enable(self, name: str, enabled: bool = True) -> None:
+        self.jobs[name].enabled = enabled
+
+    # -- daemon lifecycle ------------------------------------------------------
+
+    def kill(self) -> None:
+        """crond dies: jobs stop firing until :meth:`restart`."""
+        self.running = False
+
+    def restart(self) -> None:
+        """Restart crond; jobs resume on their original grid."""
+        if self.running:
+            return
+        self.running = True
+        for name, job in self.jobs.items():
+            # the armed event kept ticking but did not run jobs; nothing
+            # to re-arm unless the event chain was lost (host reboot).
+            if name not in self._events:
+                self._arm(job)
+
+    # -- firing ------------------------------------------------------------------
+
+    def _arm(self, job: CronJob) -> None:
+        t = next_grid(self.sim.now, job.period, job.offset)
+        self._events[job.name] = self.sim.schedule_at(t, self._fire, job.name)
+
+    def _fire(self, name: str) -> None:
+        job = self.jobs.get(name)
+        if job is None:
+            self._events.pop(name, None)
+            return
+        runnable = (self.running and self.host.is_up and job.enabled)
+        if runnable:
+            job.runs += 1
+            job.last_run = self.sim.now
+            job.fn()
+        else:
+            job.missed += 1
+        self._arm(job)
+
+    def next_fire(self, name: str) -> float:
+        """Next grid point for a job (for tests and the watchdog)."""
+        job = self.jobs[name]
+        return next_grid(self.sim.now, job.period, job.offset)

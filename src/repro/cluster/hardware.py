@@ -1,0 +1,139 @@
+"""Hardware component inventory and failure states.
+
+The paper's hardware intelliagents "look after hardware components
+(CPU, memory, boards etc)".  Each host carries an inventory of discrete
+components; a component can degrade or fail, which the hardware agent
+can *detect and report* but -- matching the paper's §4 finding that
+"our software was unable to take care of ... hardware related errors"
+-- cannot repair.  Repair requires a (simulated) field engineer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ComponentKind", "ComponentState", "Component",
+           "HardwareInventory"]
+
+
+class ComponentKind(enum.Enum):
+    CPU_BOARD = "cpu_board"
+    MEMORY_BANK = "memory_bank"
+    DISK = "disk"
+    NIC = "nic"
+    PSU = "psu"
+    SYSTEM_BOARD = "system_board"
+
+
+class ComponentState(enum.Enum):
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass
+class Component:
+    """One field-replaceable unit."""
+
+    kind: ComponentKind
+    index: int
+    state: ComponentState = ComponentState.OK
+    error_count: int = 0
+    failed_at: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}{self.index}"
+
+    def degrade(self, now: float) -> None:
+        """Record a correctable error; enough of them degrade the unit."""
+        self.error_count += 1
+        if self.state is ComponentState.OK and self.error_count >= 3:
+            self.state = ComponentState.DEGRADED
+            self.failed_at = now
+
+    def fail(self, now: float) -> None:
+        self.state = ComponentState.FAILED
+        self.failed_at = now
+
+    def replace(self) -> None:
+        """Field-engineer swap: back to factory state."""
+        self.state = ComponentState.OK
+        self.error_count = 0
+        self.failed_at = None
+
+
+class HardwareInventory:
+    """All FRUs of one host, built from its :class:`ServerSpec`."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.components: List[Component] = []
+        # One board per 4 CPUs (minimum one), one bank per GB-ish chunk.
+        for i in range(max(1, spec.cpus // 4)):
+            self.components.append(Component(ComponentKind.CPU_BOARD, i))
+        for i in range(max(1, spec.ram_mb // 2048)):
+            self.components.append(Component(ComponentKind.MEMORY_BANK, i))
+        for i in range(spec.disks):
+            self.components.append(Component(ComponentKind.DISK, i))
+        for i in range(spec.nics):
+            self.components.append(Component(ComponentKind.NIC, i))
+        self.components.append(Component(ComponentKind.PSU, 0))
+        self.components.append(Component(ComponentKind.SYSTEM_BOARD, 0))
+
+    # -- queries ---------------------------------------------------------
+
+    def of_kind(self, kind: ComponentKind) -> List[Component]:
+        return [c for c in self.components if c.kind is kind]
+
+    def find(self, name: str) -> Component:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(f"no component {name!r}")
+
+    def failed(self) -> List[Component]:
+        return [c for c in self.components
+                if c.state is ComponentState.FAILED]
+
+    def degraded(self) -> List[Component]:
+        return [c for c in self.components
+                if c.state is ComponentState.DEGRADED]
+
+    def healthy(self) -> bool:
+        return not self.failed()
+
+    def fatal(self) -> bool:
+        """True when the host cannot stay up: dead system board or PSU,
+        or every unit of a mandatory kind is gone."""
+        for kind in (ComponentKind.SYSTEM_BOARD, ComponentKind.PSU):
+            if all(c.state is ComponentState.FAILED
+                   for c in self.of_kind(kind)):
+                return True
+        for kind in (ComponentKind.CPU_BOARD, ComponentKind.MEMORY_BANK):
+            units = self.of_kind(kind)
+            if units and all(c.state is ComponentState.FAILED for c in units):
+                return True
+        return False
+
+    # -- capacity effects --------------------------------------------------
+
+    def effective_cpus(self) -> int:
+        boards = self.of_kind(ComponentKind.CPU_BOARD)
+        ok = sum(1 for b in boards if b.state is not ComponentState.FAILED)
+        if not boards:
+            return self.spec.cpus
+        return max(0, round(self.spec.cpus * ok / len(boards)))
+
+    def effective_ram_mb(self) -> int:
+        banks = self.of_kind(ComponentKind.MEMORY_BANK)
+        ok = sum(1 for b in banks if b.state is not ComponentState.FAILED)
+        if not banks:
+            return self.spec.ram_mb
+        return max(0, round(self.spec.ram_mb * ok / len(banks)))
+
+    def status_report(self) -> Dict[str, str]:
+        """Component-name → state map (what ``prtdiag``-style probes show)."""
+        return {c.name: c.state.value for c in self.components}

@@ -1,0 +1,189 @@
+"""Unix process table model.
+
+Applications, batch jobs, monitors and (while running) intelliagents
+all appear as entries in their host's process table.  The table is what
+``ps``-style shell commands and the per-process accounting samplers
+read, and what the service agents check against the SLKT's expected
+process names/counts.
+
+Microstate accounting (§3.5 of the paper) is modelled per process:
+cumulative user/system/wait times advance whenever the host samples.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["ProcState", "SimProc", "ProcessTable",
+           "RUNNABLE_CPU_THRESHOLD"]
+
+#: share of one CPU (percent) above which a RUNNING process counts
+#: toward the run queue
+RUNNABLE_CPU_THRESHOLD = 30.0
+
+
+class ProcState(enum.Enum):
+    RUNNING = "R"
+    SLEEPING = "S"
+    BLOCKED = "D"      # uninterruptible I/O wait
+    ZOMBIE = "Z"
+    STOPPED = "T"
+
+
+@dataclass
+class Microstates:
+    """Cumulative microstate clocks, in seconds (paper cites
+    microsecond resolution; floats carry that precision fine)."""
+
+    user: float = 0.0
+    system: float = 0.0
+    wait_io: float = 0.0
+    sleep: float = 0.0
+
+    def total(self) -> float:
+        return self.user + self.system + self.wait_io + self.sleep
+
+
+@dataclass
+class SimProc:
+    """One process-table entry."""
+
+    pid: int
+    user: str
+    command: str
+    args: str = ""
+    cpu_pct: float = 0.0        # share of ONE cpu, 0..100
+    mem_mb: float = 1.0
+    state: ProcState = ProcState.RUNNING
+    started_at: float = 0.0
+    owner: object = None        # the app/agent object that spawned it
+    micro: Microstates = field(default_factory=Microstates)
+
+    @property
+    def cmdline(self) -> str:
+        return f"{self.command} {self.args}".strip()
+
+    def advance(self, dt: float) -> None:
+        """Advance microstate clocks across ``dt`` wall seconds."""
+        if self.state is ProcState.RUNNING:
+            busy = dt * self.cpu_pct / 100.0
+            self.micro.user += busy * 0.8
+            self.micro.system += busy * 0.2
+            self.micro.sleep += dt - busy
+        elif self.state is ProcState.BLOCKED:
+            self.micro.wait_io += dt
+        else:
+            self.micro.sleep += dt
+
+
+class ProcessTable:
+    """The host's process table.
+
+    PIDs are allocated monotonically per host.  Lookup by command name
+    is the hot path (service agents check for expected daemons), so an
+    index is maintained.
+    """
+
+    def __init__(self, hostname: str = ""):
+        self.hostname = hostname
+        self._procs: Dict[int, SimProc] = {}
+        self._by_command: Dict[str, List[SimProc]] = {}
+        self._pids = itertools.count(100)
+        self._last_advance = 0.0
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def __iter__(self) -> Iterator[SimProc]:
+        return iter(list(self._procs.values()))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def spawn(self, user: str, command: str, args: str = "", *,
+              cpu_pct: float = 0.0, mem_mb: float = 1.0,
+              now: float = 0.0, owner: object = None) -> SimProc:
+        proc = SimProc(pid=next(self._pids), user=user, command=command,
+                       args=args, cpu_pct=cpu_pct, mem_mb=mem_mb,
+                       started_at=now, owner=owner)
+        self._procs[proc.pid] = proc
+        self._by_command.setdefault(command, []).append(proc)
+        return proc
+
+    def kill(self, pid: int) -> bool:
+        proc = self._procs.pop(pid, None)
+        if proc is None:
+            return False
+        peers = self._by_command.get(proc.command)
+        if peers:
+            try:
+                peers.remove(proc)
+            except ValueError:
+                pass
+            if not peers:
+                del self._by_command[proc.command]
+        return True
+
+    def kill_command(self, command: str) -> int:
+        """``pkill -x`` equivalent: remove every process named exactly
+        ``command``; returns the count killed."""
+        victims = list(self._by_command.get(command, ()))
+        for proc in victims:
+            self.kill(proc.pid)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Host crash/reboot wipes the table."""
+        self._procs.clear()
+        self._by_command.clear()
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, pid: int) -> Optional[SimProc]:
+        return self._procs.get(pid)
+
+    def by_command(self, command: str) -> List[SimProc]:
+        return list(self._by_command.get(command, ()))
+
+    def by_user(self, user: str) -> List[SimProc]:
+        return [p for p in self._procs.values() if p.user == user]
+
+    def matching(self, predicate: Callable[[SimProc], bool]) -> List[SimProc]:
+        return [p for p in self._procs.values() if predicate(p)]
+
+    def alive(self, command: str) -> bool:
+        return bool(self._by_command.get(command))
+
+    # -- accounting ------------------------------------------------------
+
+    def total_cpu_pct(self) -> float:
+        """Sum of per-process single-CPU shares (can exceed 100 on SMP)."""
+        return sum(p.cpu_pct for p in self._procs.values()
+                   if p.state is ProcState.RUNNING)
+
+    def total_mem_mb(self) -> float:
+        return sum(p.mem_mb for p in self._procs.values())
+
+    def runnable(self) -> int:
+        """Processes effectively occupying a CPU.  Idle daemons sit in
+        the table with a couple of percent of demand; they do not queue
+        for a processor, so only genuinely busy processes count toward
+        the run queue."""
+        return sum(1 for p in self._procs.values()
+                   if p.state is ProcState.RUNNING
+                   and p.cpu_pct >= RUNNABLE_CPU_THRESHOLD)
+
+    def blocked(self) -> int:
+        return sum(1 for p in self._procs.values()
+                   if p.state is ProcState.BLOCKED)
+
+    def advance(self, now: float) -> None:
+        """Advance per-process microstate clocks to ``now``."""
+        dt = now - self._last_advance
+        if dt <= 0:
+            return
+        for p in self._procs.values():
+            p.advance(dt)
+        self._last_advance = now

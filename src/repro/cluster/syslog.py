@@ -1,0 +1,93 @@
+"""Syslog model.
+
+The diagnosing part of an intelliagent works "statically, from parsing
+and examining error logs".  Each host keeps a bounded in-order log of
+records; applications and the kernel append to it, agents grep it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+__all__ = ["SyslogRecord", "Syslog", "SEVERITIES"]
+
+SEVERITIES = ("emerg", "alert", "crit", "err", "warning", "notice", "info")
+_SEV_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class SyslogRecord:
+    time: float
+    facility: str       # kern | daemon | user | local0 ...
+    severity: str       # one of SEVERITIES
+    tag: str            # program name, e.g. "oracle", "httpd"
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.time:12.1f} {self.facility}.{self.severity} "
+                f"{self.tag}: {self.message}")
+
+
+class Syslog:
+    """Bounded, append-only host log."""
+
+    def __init__(self, maxlen: int = 20000):
+        self.records: Deque[SyslogRecord] = deque(maxlen=maxlen)
+        self.total_logged = 0
+
+    def log(self, time: float, facility: str, severity: str, tag: str,
+            message: str) -> SyslogRecord:
+        if severity not in _SEV_RANK:
+            raise ValueError(f"unknown severity {severity!r}")
+        rec = SyslogRecord(time, facility, severity, tag, message)
+        self.records.append(rec)
+        self.total_logged += 1
+        return rec
+
+    # convenience severities ------------------------------------------------
+
+    def error(self, time: float, tag: str, message: str,
+              facility: str = "daemon") -> SyslogRecord:
+        return self.log(time, facility, "err", tag, message)
+
+    def warning(self, time: float, tag: str, message: str,
+                facility: str = "daemon") -> SyslogRecord:
+        return self.log(time, facility, "warning", tag, message)
+
+    def info(self, time: float, tag: str, message: str,
+             facility: str = "daemon") -> SyslogRecord:
+        return self.log(time, facility, "info", tag, message)
+
+    # queries ---------------------------------------------------------------
+
+    def tail(self, n: int = 50) -> List[SyslogRecord]:
+        return list(self.records)[-n:]
+
+    def grep(self, *, tag: Optional[str] = None,
+             min_severity: str = "info",
+             since: float = float("-inf"),
+             contains: Optional[str] = None) -> List[SyslogRecord]:
+        """Filter records: by tag, minimum severity (err ⊂ warning ⊂ ...),
+        time floor and substring."""
+        rank = _SEV_RANK[min_severity]
+        out: List[SyslogRecord] = []
+        for rec in self.records:
+            if rec.time < since:
+                continue
+            if _SEV_RANK[rec.severity] > rank:
+                continue
+            if tag is not None and rec.tag != tag:
+                continue
+            if contains is not None and contains not in rec.message:
+                continue
+            out.append(rec)
+        return out
+
+    def errors_since(self, since: float,
+                     tag: Optional[str] = None) -> List[SyslogRecord]:
+        return self.grep(tag=tag, min_severity="err", since=since)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,40 @@
+"""The paper's contribution: intelliagents, coordinators, reasoning.
+
+- :mod:`flags` -- the flag-file protocol under ``/logs/intelliagents``.
+- :mod:`thresholds` -- baselines ("min and max software and hardware
+  related variables") with the paper's adjust-on-evidence rule.
+- :mod:`reasoning` -- constraint-based causal reasoning over ontologies.
+- :mod:`parts` -- the five agent parts (§3.3), each deactivatable.
+- :mod:`agent` -- the Intelliagent base: cron-woken, non-resident,
+  same-type lockout, flag production, self-maintenance.
+- six agent categories -- :mod:`hardware_agent`, :mod:`os_agent`,
+  :mod:`resource_agent`, :mod:`service_agent`, :mod:`status_agent`,
+  :mod:`performance_agent`.
+- :mod:`suite` -- installs the per-host agent complement and carries
+  the Figures 3/4 overhead accounting.
+- :mod:`admin` -- the HA administration-server pair: flag watchdog,
+  DLSP collection, DGSPL generation, escalation.
+- :mod:`jobmgr` -- LSF management and DGSPL/SLKT-driven resubmission.
+"""
+
+from repro.core.flags import FlagStore, FLAG_DIR
+from repro.core.thresholds import Baselines, Breach
+from repro.core.reasoning import CausalRule, Diagnosis, RuleEngine
+from repro.core.parts import Finding, PartSwitches
+from repro.core.agent import Intelliagent
+from repro.core.hardware_agent import HardwareAgent
+from repro.core.os_agent import OsNetworkAgent
+from repro.core.resource_agent import ResourceAgent
+from repro.core.service_agent import ServiceAgent
+from repro.core.status_agent import StatusAgent
+from repro.core.performance_agent import PerformanceAgent
+from repro.core.suite import AgentSuite
+from repro.core.admin import AdministrationServers
+from repro.core.jobmgr import JobManager
+
+__all__ = ["FlagStore", "FLAG_DIR", "Baselines", "Breach",
+           "CausalRule", "Diagnosis", "RuleEngine", "Finding",
+           "PartSwitches", "Intelliagent", "HardwareAgent",
+           "OsNetworkAgent", "ResourceAgent", "ServiceAgent",
+           "StatusAgent", "PerformanceAgent", "AgentSuite",
+           "AdministrationServers", "JobManager"]

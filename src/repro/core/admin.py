@@ -1,0 +1,256 @@
+"""Administration servers (§3.1.2).
+
+"Dedicated administration servers that act as external agent
+coordinators in a high-availability failover configuration and share a
+common pool of NFS mounted disks, to avoid single points of failure."
+
+Duties implemented here:
+
+- **Flag watchdog** -- "Administration servers monitor the creation of
+  these flags every X+5 minutes ... If these flags are not there, they
+  start troubleshooting intelliagent processes."  A host whose agents
+  stopped flagging gets its cron restarted remotely; a host that is
+  down gets escalated to humans.
+- **DLSP collection and DGSPL generation** -- profiles arrive from the
+  status agents; "the administration servers generated dynamic global
+  service profile lists per database type every 15 minutes on average",
+  persisted to the shared NFS pool.
+- **HA failover** -- both heads run the same cron jobs; only the active
+  one (primary if up, else standby) acts.  State lives in the pool, so
+  a failover loses nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.flags import FlagStore
+from repro.core.healing import apply_action
+from repro.ontology.dgspl import Dgspl, build_dgspl
+from repro.ontology.dlsp import Dlsp
+
+__all__ = ["AdministrationServers"]
+
+
+class AdministrationServers:
+    """The coordinator pair."""
+
+    DGSPL_PERIOD = 900.0        # 15 minutes
+    #: "every 15 to 30 minutes we initiated a dummy process to run
+    #: through all application components, simulating a user" (§3.6)
+    SVC_PROBE_PERIOD = 1800.0
+
+    def __init__(self, dc, primary, standby, pool, *, channel=None,
+                 notifications=None, agent_period: float = 300.0):
+        self.dc = dc
+        self.sim = dc.sim
+        self.primary = primary
+        self.standby = standby
+        self.pool = pool
+        self.channel = channel
+        self.notifications = notifications
+        self.agent_period = float(agent_period)
+        #: "every X+5 minutes, where X is the frequency intelliagent run"
+        self.watch_period = self.agent_period + 300.0
+
+        if pool is not None:
+            pool.add_server(primary)
+            pool.add_server(standby)
+
+        #: monitored hosts -> their agent suites
+        self.suites: Dict[str, object] = {}
+        #: when each suite came under watch (warm-up grace)
+        self._registered_at: Dict[str, float] = {}
+        #: freshest DLSP per host
+        self.dlsps: Dict[str, Dlsp] = {}
+        self.dgspl: Optional[Dgspl] = None
+        self.dgspl_generations = 0
+        self.cron_repairs = 0
+        self.hosts_escalated: set = set()
+        self.failovers = 0
+        self._last_active: Optional[str] = None
+
+        #: distributed services under end-to-end watch
+        self.services: List[object] = []
+        self.services_unhealthy: set = set()
+        self.service_probes = 0
+        self.service_probe_failures = 0
+
+        for head in (primary, standby):
+            head.crond.register("admin_watchdog", self.watch_period,
+                                self._make_guarded(head, self._watchdog))
+            head.crond.register("admin_dgspl", self.DGSPL_PERIOD,
+                                self._make_guarded(head, self._build_dgspl))
+            head.crond.register("admin_svcprobe", self.SVC_PROBE_PERIOD,
+                                self._make_guarded(head,
+                                                   self._probe_services))
+
+    # -- HA -----------------------------------------------------------------------
+
+    def active(self):
+        """The coordinator currently in charge (primary unless down)."""
+        head = (self.primary if self.primary.is_up
+                else self.standby if self.standby.is_up else None)
+        name = head.name if head is not None else None
+        if name != self._last_active:
+            if self._last_active is not None:
+                self.failovers += 1
+            self._last_active = name
+        return head
+
+    def _make_guarded(self, head, fn):
+        def guarded():
+            if self.active() is head:
+                fn()
+        return guarded
+
+    # -- registration -----------------------------------------------------------------
+
+    def register_suite(self, suite) -> None:
+        self.suites[suite.host.name] = suite
+        self._registered_at[suite.host.name] = self.sim.now
+
+    def register_service(self, service) -> None:
+        """Put a distributed service under dummy-user end-to-end watch."""
+        self.services.append(service)
+
+    def _probe_services(self) -> None:
+        """The dummy user: walk every registered service end to end.
+        Failures the local agents cannot see (network legs between
+        components, cross-host dependency chains) surface here."""
+        if self.active() is None:
+            return
+        for svc in self.services:
+            self.service_probes += 1
+            ok, ms, err = svc.end_to_end_probe()
+            if ok:
+                self.services_unhealthy.discard(svc.name)
+                continue
+            self.service_probe_failures += 1
+            if svc.name in self.services_unhealthy:
+                continue        # already reported this outage
+            self.services_unhealthy.add(svc.name)
+            if self.notifications is not None:
+                self.notifications.email(
+                    "administrators",
+                    f"service {svc.name} failing end-to-end: {err}",
+                    severity="critical", sender="admin-servers")
+            self._log_pool(f"{self.sim.now:.0f} SERVICE-DOWN "
+                           f"{svc.name}: {err}")
+
+    def receive_dlsp(self, dlsp: Dlsp) -> None:
+        """Called (over the agent channel) by the status agents."""
+        self.dlsps[dlsp.hostname] = dlsp
+        head = self.active()
+        if self.pool is not None and head is not None:
+            try:
+                self.pool.write(head, f"/dlsp/{dlsp.hostname}",
+                                dlsp.to_doc().render())
+            except Exception:
+                pass        # pool outage: keep the in-memory copy
+
+    # -- the flag watchdog -----------------------------------------------------------------
+
+    def _watchdog(self) -> None:
+        head = self.active()
+        if head is None:
+            return
+        now = self.sim.now
+        for host_name, suite in self.suites.items():
+            host = self.dc.hosts.get(host_name)
+            if host is None:
+                continue
+            # warm-up: a freshly registered suite has not had a full
+            # grid of wakes yet; judging it stale would be a false alarm
+            registered = self._registered_at.get(host_name, 0.0)
+            if now - registered < self.watch_period + self.agent_period:
+                continue
+            if not host.is_up:
+                self._escalate_host(host_name, "host is down")
+                continue
+            # reach the host over the agent network first
+            if self.channel is not None:
+                d = self.channel.send(head.name, host_name, 256)
+                if not d.ok:
+                    self._escalate_host(host_name,
+                                        f"unreachable: {d.error}")
+                    continue
+            stale = self._stale_agents(host, suite, now)
+            if not stale:
+                self.hosts_escalated.discard(host_name)
+                continue
+            # "they start troubleshooting intelliagent processes":
+            # the usual cause of *all* flags stopping is a dead cron
+            if len(stale) == len(suite.agents) and not host.crond.running:
+                apply_action("restart_cron", host, "crond")
+                self.cron_repairs += 1
+                self._log_pool(f"{now:.0f} restarted crond on {host_name}")
+            else:
+                self._escalate_host(
+                    host_name,
+                    f"agents not flagging: {', '.join(sorted(stale))}")
+
+    def _stale_agents(self, host, suite, now: float) -> List[str]:
+        stale = []
+        for agent in suite.agents:
+            latest = FlagStore(host.fs, agent.name).latest_time()
+            if now - latest > self.watch_period:
+                stale.append(agent.name)
+        return stale
+
+    def _escalate_host(self, host_name: str, reason: str) -> None:
+        if host_name in self.hosts_escalated:
+            return
+        self.hosts_escalated.add(host_name)
+        if self.notifications is not None:
+            self.notifications.sms(
+                "oncall-admin",
+                f"admin: {host_name} needs attention ({reason})",
+                severity="critical", sender="admin-servers")
+        self._log_pool(f"{self.sim.now:.0f} ESCALATED {host_name}: {reason}")
+
+    # -- DGSPL generation ---------------------------------------------------------------------
+
+    def _build_dgspl(self) -> None:
+        head = self.active()
+        if head is None:
+            return
+        now = self.sim.now
+        fresh = [d for d in self.dlsps.values()
+                 if now - d.generated_at <= 2 * self.agent_period + 60.0]
+        self.dgspl = build_dgspl(fresh, now)
+        self.dgspl_generations += 1
+        if self.pool is not None:
+            # "per database type": one list per application type
+            by_type: Dict[str, List[str]] = {}
+            for entry in self.dgspl.entries:
+                by_type.setdefault(entry.app_type, [])
+            try:
+                self.pool.write(head, "/dgspl/all",
+                                self.dgspl.to_doc().render())
+                for app_type in by_type:
+                    sub = Dgspl(now)
+                    sub.entries = self.dgspl.services_of_type(app_type)
+                    self.pool.write(head, f"/dgspl/{app_type}",
+                                    sub.to_doc().render())
+            except Exception:
+                pass
+
+    def _log_pool(self, line: str) -> None:
+        head = self.active()
+        if self.pool is None or head is None:
+            return
+        try:
+            self.pool.append(head, "/admin/actions.log", line)
+        except Exception:
+            pass
+
+    # -- queries --------------------------------------------------------------------------------
+
+    def current_dgspl(self, max_age: Optional[float] = None) -> Optional[Dgspl]:
+        if self.dgspl is None:
+            return None
+        if max_age is not None and (
+                self.sim.now - self.dgspl.generated_at) > max_age:
+            return None
+        return self.dgspl

@@ -1,0 +1,261 @@
+"""The Intelliagent base class (§3.3).
+
+An intelliagent is **not memory resident**: it is woken by the local
+cron every X minutes, appears in the process table only for the span of
+its run, writes a flag describing what happened, and exits.  "At
+startup each intelliagent checks to see if any other of the same type
+is running, if so it exits."
+
+One wake runs the five parts in order:
+
+1. *Self-maintenance* -- prune its own old flags and logs.
+2. *Monitoring* -- look after its one resource/aspect; collect findings.
+3. *Diagnosing* -- constraint-based causal reasoning per finding
+   (static log parsing + dynamic shell commands inside the rule tests).
+4. *Self-healing* -- apply the diagnosed actions; stay "running" (the
+   lockout) for the repair duration.
+5. *Communication/Logging* -- activity log, flag, message to the
+   administration servers, email/SMS to humans when it cannot fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.flags import FlagStore
+from repro.core.healing import ActionResult, apply_action
+from repro.core.parts import Finding, PartSwitches
+from repro.core.reasoning import Diagnosis, RuleEngine
+from repro.metrics.circular_log import CircularLog
+
+__all__ = ["Intelliagent", "RunStats"]
+
+#: a few hours of flags is plenty (the watchdog only needs freshness,
+#: humans only need the recent story); older ones are self-maintained away
+FLAG_RETENTION = 4 * 3600.0
+
+#: footprint of a running agent process (the paper's flat 1.6 MB is the
+#: whole per-host complement; a single agent is a fraction of that)
+AGENT_PROC_MEM_MB = 0.2
+
+#: notification fan-out stops after this many failed heals of the same
+#: subject (avoid email storms; humans are already on it)
+MAX_HEAL_ATTEMPTS = 2
+
+
+@dataclass
+class RunStats:
+    """Counters for one agent (Figures 3/4 feed off cpu_seconds)."""
+
+    runs: int = 0
+    skipped: int = 0
+    faults_found: int = 0
+    heals_attempted: int = 0
+    heals_succeeded: int = 0
+    escalations: int = 0
+    cpu_seconds: float = 0.0
+
+
+class Intelliagent:
+    """Base class for the six agent categories."""
+
+    category = "generic"
+    #: CPU cost of one wake, seconds of one CPU (shell-tool sweeps are
+    #: cheap; this is what makes Fig. 3's ~0.045 % amortised cost)
+    RUN_CPU_SECONDS = 0.018
+
+    def __init__(self, host, name: str, *, period: float = 300.0,
+                 channel=None, admin_targets: Optional[List[str]] = None,
+                 notifications=None, switches: Optional[PartSwitches] = None):
+        self.host = host
+        self.sim = host.sim
+        self.name = name
+        self.command = f"ia_{name}"
+        self.period = float(period)
+        self.channel = channel
+        self.admin_targets = list(admin_targets or ())
+        self.notifications = notifications
+        self.parts = switches or PartSwitches()
+
+        self.flags = FlagStore(host.fs, name)
+        self.activity = CircularLog(host.fs,
+                                    f"/logs/intelliagents/{name}/activity",
+                                    maxlen=500)
+        self.engine = RuleEngine()
+        self.install_rules(self.engine)
+        self.stats = RunStats()
+        self._proc = None
+        self._busy_until = 0.0
+        #: per-subject consecutive failed heal attempts
+        self._attempts: Dict[str, int] = {}
+        #: subjects we already escalated (reset when healthy again)
+        self._escalated: set = set()
+        self.cron_job = host.crond.register(name, self.period, self.run)
+
+    # -- subclass surface ------------------------------------------------------
+
+    def monitor(self) -> List[Finding]:
+        """Inspect the agent's one subject; return anomalies."""
+        raise NotImplementedError
+
+    def install_rules(self, engine: RuleEngine) -> None:
+        """Populate the causal rules (constraints come from ontologies)."""
+
+    def on_clean_run(self) -> None:
+        """Hook: extra work on a no-fault wake (status agents rebuild
+        profiles here)."""
+
+    # -- the wake cycle ---------------------------------------------------------------
+
+    def run(self) -> None:
+        now = self.sim.now
+        if not self.host.is_up:
+            return
+        # same-type lockout
+        if self._proc is not None:
+            if now < self._busy_until and self.host.ptable.get(self._proc.pid):
+                self.stats.skipped += 1
+                self._flag("skipped", "previous instance still running")
+                return
+            self._end_proc()
+        self._start_proc()
+        self.stats.runs += 1
+        self.stats.cpu_seconds += self.RUN_CPU_SECONDS
+        busy = 0.0
+        try:
+            if self.parts.self_maintenance:
+                self._self_maintain(now)
+            findings = self.monitor() if self.parts.monitoring else []
+            if not findings:
+                self._recover_subjects()
+                self.on_clean_run()
+                self._flag("ok")
+                return
+            self.stats.faults_found += len(findings)
+            self._log(f"found {len(findings)} fault(s): "
+                      + "; ".join(f"{f.kind}:{f.subject}" for f in findings))
+            self._flag("fault", "; ".join(
+                f"{f.kind} {f.subject} {f.detail}" for f in findings))
+            diagnoses = []
+            if self.parts.diagnosing:
+                diagnoses = [self.engine.diagnose(self.host, f)
+                             for f in findings]
+            else:
+                diagnoses = [Diagnosis(f, f.kind, [], confirmed=False)
+                             for f in findings]
+            for diag in diagnoses:
+                busy = max(busy, self._handle(diag))
+        finally:
+            if busy > 0.0:
+                self._busy_until = self.sim.now + busy
+                self.sim.schedule(busy, self._end_proc)
+            else:
+                self._end_proc()
+
+    # -- part implementations -----------------------------------------------------------
+
+    def _self_maintain(self, now: float) -> None:
+        """'Every time an intelliagent runs, it looks after its
+        individual logs ... removes flags from previous runs.'"""
+        self.flags.clear_before(now - FLAG_RETENTION)
+
+    def _handle(self, diag: Diagnosis) -> float:
+        """Heal if possible, otherwise escalate.  Returns busy time."""
+        subject = diag.finding.subject
+        self._log(f"diagnosis {subject}: {diag.cause} "
+                  f"(evidence: {len(diag.evidence)} tests)")
+        if not (self.parts.healing and diag.actionable):
+            self._escalate(diag, reason="no automated repair")
+            return 0.0
+        attempts = self._attempts.get(subject, 0)
+        if attempts >= MAX_HEAL_ATTEMPTS:
+            self._escalate(diag, reason=f"{attempts} repairs failed")
+            return 0.0
+        self._attempts[subject] = attempts + 1
+        busy = 0.0
+        for action in diag.actions:
+            self.stats.heals_attempted += 1
+            result = apply_action(action, self.host, subject)
+            self._log(f"action {action} on {subject}: "
+                      f"{'ok' if result.success else 'FAILED'} "
+                      f"({result.detail})")
+            if result.success:
+                self.stats.heals_succeeded += 1
+                self._flag("fixed", f"{action} {subject}")
+                self._tell_admins(f"fixed {subject} via {action}")
+                busy = max(busy, result.busy_for)
+                break
+        else:
+            self._escalate(diag, reason="all actions failed")
+        return busy
+
+    def _recover_subjects(self) -> None:
+        """A clean run clears attempt/escalation state so a future
+        recurrence is treated (and notified) as a fresh incident."""
+        if self._attempts or self._escalated:
+            self._attempts.clear()
+            self._escalated.clear()
+
+    def _escalate(self, diag: Diagnosis, reason: str) -> None:
+        subject = diag.finding.subject
+        if subject in self._escalated:
+            return
+        self._escalated.add(subject)
+        self.stats.escalations += 1
+        self._flag("failed", f"{subject}: {diag.cause} ({reason})")
+        if self.parts.communication and self.notifications is not None:
+            self.notifications.email(
+                "administrators",
+                f"{self.host.name}/{self.name}: cannot fix {subject}",
+                body=f"cause={diag.cause}; {reason}; "
+                     f"evidence={'; '.join(diag.evidence)}",
+                severity="critical", sender=self.name)
+        self._tell_admins(f"escalated {subject}: {diag.cause}")
+
+    # -- communication helpers -------------------------------------------------------------
+
+    def _flag(self, status: str, detail: str = "") -> None:
+        try:
+            self.flags.raise_flag(status, self.sim.now, detail)
+        except Exception:
+            # a full /logs mount must not kill the agent: the *absence*
+            # of flags is itself the watchdog's signal
+            pass
+
+    def _log(self, message: str) -> None:
+        if self.parts.communication:
+            try:
+                self.activity.append(f"{self.sim.now:.1f} {message}",
+                                     now=self.sim.now)
+            except Exception:
+                pass
+
+    def _tell_admins(self, message: str, nbytes: int = 1024) -> None:
+        if not (self.parts.communication and self.channel):
+            return
+        for target in self.admin_targets:
+            self.channel.send(self.host.name, target, nbytes)
+
+    # -- process-table presence ------------------------------------------------------------------
+
+    def _start_proc(self) -> None:
+        self._proc = self.host.ptable.spawn(
+            "root", self.command, cpu_pct=0.5, mem_mb=AGENT_PROC_MEM_MB,
+            now=self.sim.now, owner=self)
+
+    def _end_proc(self) -> None:
+        if self._proc is not None:
+            self.host.ptable.kill(self._proc.pid)
+            self._proc = None
+        self._busy_until = 0.0
+
+    # -- introspection ---------------------------------------------------------------------------------
+
+    def amortized_cpu_pct(self) -> float:
+        """Average share of one CPU consumed by this agent's wakes."""
+        return 100.0 * self.RUN_CPU_SECONDS / self.period
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} {self.name}@{self.host.name} "
+                f"runs={self.stats.runs}>")

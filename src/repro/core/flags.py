@@ -1,0 +1,137 @@
+"""The flag-file protocol.
+
+"Whenever a local intelliagent runs, it produces a flag in the
+dedicated '/logs/intelliagents/intelliagent_name' directory on the
+local server disk to show the status of the run.  A number of flags are
+produced with appropriate naming conventions that show what happened
+and exactly where the agent found a fault.  Absence of these flags
+means that we either have an internal intelliagent problem or that they
+did not run at all."
+
+Flag files are named ``<status>.<timestamp>`` with an optional detail
+payload inside.  The administration servers' watchdog reads freshness;
+humans read the detail; self-maintenance prunes old flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.filesystem import FsError
+
+__all__ = ["FLAG_DIR", "Flag", "FlagStore", "FLAG_STATUSES"]
+
+FLAG_DIR = "/logs/intelliagents"
+
+#: ok       -- ran, all clear
+#: fault    -- ran, found a fault (detail says where)
+#: fixed    -- ran, repaired a fault
+#: failed   -- ran, could not repair; humans notified
+#: skipped  -- woke but exited (same-type lockout)
+FLAG_STATUSES = ("ok", "fault", "fixed", "failed", "skipped")
+
+
+@dataclass(frozen=True)
+class Flag:
+    agent: str
+    status: str
+    time: float
+    detail: str = ""
+
+    @property
+    def filename(self) -> str:
+        return f"{self.status}.{self.time:.1f}"
+
+
+class FlagStore:
+    """Reads and writes one agent's flag directory on a host fs."""
+
+    def __init__(self, fs, agent_name: str):
+        self.fs = fs
+        self.agent = agent_name
+        self.dir = f"{FLAG_DIR}/{agent_name}"
+        fs.mkdir(self.dir)
+
+    # -- writing ------------------------------------------------------------
+
+    def raise_flag(self, status: str, now: float, detail: str = "") -> Flag:
+        if status not in FLAG_STATUSES:
+            raise ValueError(f"unknown flag status {status!r}")
+        flag = Flag(self.agent, status, now, detail)
+        self.fs.write(f"{self.dir}/{flag.filename}",
+                      [detail] if detail else [], now=now)
+        return flag
+
+    def clear_before(self, cutoff: float) -> int:
+        """Self-maintenance: drop flags older than ``cutoff``."""
+        removed = 0
+        for path in self.fs.files_in_dir(self.dir):
+            parsed = self._parse_name(path)
+            if parsed is not None and parsed[1] < cutoff:
+                self.fs.remove(path)
+                removed += 1
+        return removed
+
+    def clear_all(self) -> int:
+        return self.fs.remove_tree(self.dir)
+
+    # -- reading --------------------------------------------------------------
+
+    @staticmethod
+    def _parse_name(path: str) -> Optional[tuple]:
+        """(status, time) straight from the filename -- the hot path
+        never opens the file."""
+        name = path.rsplit("/", 1)[-1]
+        status, _, stamp = name.partition(".")
+        if status not in FLAG_STATUSES:
+            return None
+        try:
+            return (status, float(stamp))
+        except ValueError:
+            return None
+
+    def _parse_path(self, path: str) -> Optional[Flag]:
+        parsed = self._parse_name(path)
+        if parsed is None:
+            return None
+        status, t = parsed
+        try:
+            lines = self.fs.read(path)
+        except FsError:
+            lines = []
+        return Flag(self.agent, status, t, lines[0] if lines else "")
+
+    def flags(self) -> List[Flag]:
+        out = []
+        for path in self.fs.files_in_dir(self.dir):
+            flag = self._parse_path(path)
+            if flag is not None:
+                out.append(flag)
+        out.sort(key=lambda f: f.time)
+        return out
+
+    def latest(self) -> Optional[Flag]:
+        best: Optional[tuple] = None
+        best_path: Optional[str] = None
+        for path in self.fs.files_in_dir(self.dir):
+            parsed = self._parse_name(path)
+            if parsed is not None and (best is None or parsed[1] > best[1]):
+                best, best_path = parsed, path
+        if best_path is None:
+            return None
+        return self._parse_path(best_path)
+
+    def latest_time(self) -> float:
+        """Freshest flag timestamp (-inf when none exist), the number
+        the watchdog compares against the expected cron grid."""
+        latest = self.latest()
+        return latest.time if latest else float("-inf")
+
+    @staticmethod
+    def agents_on(fs) -> List[str]:
+        """Agent names that have flag directories on this host."""
+        try:
+            return fs.listdir(FLAG_DIR)
+        except FsError:
+            return []

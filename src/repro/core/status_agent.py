@@ -1,0 +1,83 @@
+"""Status intelliagents.
+
+"Status intelliagents that dynamically generate status profiles for
+servers, resources and services in terms of availability, load,
+capacity and geographical location."  §3.4: the local status agent is
+woken by cron, "compiles dynamically its local DLSP" (invoking the
+local service probes), writes it under the agent log tree, and ships it
+to the administration servers over the private network.
+
+It also self-maintains "old local dynamic service profiles".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.agent import Intelliagent
+from repro.core.parts import Finding
+from repro.ontology.dlsp import Dlsp, build_dlsp
+
+__all__ = ["StatusAgent"]
+
+DLSP_DIR = "/logs/intelliagents/dlsp"
+DLSP_RETENTION = 3600.0     # keep an hour of profiles locally
+
+
+class StatusAgent(Intelliagent):
+    """One per host."""
+
+    category = "status"
+    RUN_CPU_SECONDS = 0.020
+
+    def __init__(self, host, *, deliver: Optional[Callable[[Dlsp], None]] = None,
+                 **kw):
+        #: callback reaching the administration servers (wired by the
+        #: suite; physically the bytes ride the agent channel)
+        self.deliver = deliver
+        self.profiles_built = 0
+        self.profiles_delivered = 0
+        super().__init__(host, "status", **kw)
+        host.fs.mkdir(DLSP_DIR)
+
+    # status agents report, they do not repair
+    def monitor(self) -> List[Finding]:
+        return []
+
+    def on_clean_run(self) -> None:
+        self.build_and_ship()
+
+    def build_and_ship(self) -> Optional[Dlsp]:
+        dlsp = build_dlsp(self.host)
+        self.profiles_built += 1
+        path = f"{DLSP_DIR}/{self.host.name}.{self.sim.now:.0f}"
+        try:
+            dlsp.write_to(self.host.fs, path)
+        except Exception:
+            pass        # a full disk must not stop the shipment
+        self._prune_old_profiles()
+        if self.deliver is not None and self.channel is not None:
+            payload = sum(len(l) + 1 for l in dlsp.to_doc().render())
+            for target in self.admin_targets:
+                d = self.channel.send(self.host.name, target, payload)
+                if d.ok:
+                    self.deliver(dlsp)
+                    self.profiles_delivered += 1
+                    break       # one coordinator copy is enough (NFS-shared)
+        elif self.deliver is not None:
+            self.deliver(dlsp)
+            self.profiles_delivered += 1
+        return dlsp
+
+    def _prune_old_profiles(self) -> None:
+        cutoff = self.sim.now - DLSP_RETENTION
+        for path in self.host.fs.files_in_dir(DLSP_DIR):
+            name = path.rsplit("/", 1)[-1]
+            if not name.startswith(self.host.name + "."):
+                continue
+            try:
+                stamp = float(name.rsplit(".", 1)[-1])
+            except ValueError:
+                continue
+            if stamp < cutoff:
+                self.host.fs.remove(path)

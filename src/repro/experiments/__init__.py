@@ -1,0 +1,23 @@
+"""Experiment drivers reproducing the paper's evaluation (§4).
+
+One module per artefact:
+
+- :mod:`site` -- the UK financial customer site (100 database, 55
+  transaction-processing, 60 front-end servers) at full or test scale.
+- :mod:`fig2` -- downtime before/after, by error category, one year.
+- :mod:`overhead` -- Figures 3 and 4: CPU % and memory, BMC vs agents.
+- :mod:`latency` -- fault-detection latency by period (text of §4).
+- :mod:`mttr` -- manual troubleshooting cost (2 h restart / 4 h total).
+- :mod:`ablations` -- agent frequency, resubmission policy, private-
+  network failover, local-vs-centralised management.
+- :mod:`runner` -- the full-fidelity harness wiring faults to the
+  downtime ledger.
+- :mod:`report` -- ASCII table helpers shared by benches and the CLI.
+"""
+
+from repro.experiments.site import Site, build_site, SiteConfig
+from repro.experiments.runner import FidelityHarness
+from repro.experiments import fig2, overhead, latency, mttr, ablations, report
+
+__all__ = ["Site", "SiteConfig", "build_site", "FidelityHarness",
+           "fig2", "overhead", "latency", "mttr", "ablations", "report"]

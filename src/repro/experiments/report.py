@@ -1,0 +1,34 @@
+"""ASCII table helpers shared by the benches and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["table", "fmt"]
+
+
+def fmt(value, width: int = 0) -> str:
+    if isinstance(value, float):
+        s = f"{value:.2f}"
+    else:
+        s = str(value)
+    return s.rjust(width) if width else s
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence],
+          title: Optional[str] = None) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Full-fidelity experiment harness.
+
+Wires the live simulated site to the downtime ledger: when an
+application leaves service an incident opens, when it returns the
+incident closes; agent fault-flags and operator notifications stamp
+detection times.  Used by the integration tests and the latency / MTTR
+/ resubmission experiments, where horizons are hours-to-weeks (the
+year-long Fig. 2 run uses the calibrated campaign fast path instead --
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.base import AppState
+from repro.apps.database import Database
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Category
+from repro.ops.downtime import DowntimeLedger
+
+__all__ = ["FidelityHarness"]
+
+#: app_type -> the Fig. 2 category an outage of that app lands in
+_APP_CATEGORY = {
+    "database": Category.MID_CRASH,
+    "webserver": Category.FRONT_END,
+    "frontend": Category.FRONT_END,
+    "scheduler": Category.LSF,
+    "generic": Category.COMPLETELY_DOWN,
+}
+
+
+class FidelityHarness:
+    """Observes a Site and keeps the books."""
+
+    def __init__(self, site):
+        self.site = site
+        self.sim = site.sim
+        self.ledger = DowntimeLedger()
+        self.injector = FaultInjector(site.dc,
+                                      site.streams.get("harness.faults"))
+        self._watched: List = []
+        for host in site.dc.all_hosts():
+            for app in host.apps.values():
+                self._watch_app(app)
+        site.notifications.subscribe(self._on_notification)
+
+    # -- incident bookkeeping -------------------------------------------------------
+
+    def _watch_app(self, app) -> None:
+        self._watched.append(app)
+        target = f"{app.host.name}/{app.name}"
+        category = _APP_CATEGORY.get(app.app_type, Category.COMPLETELY_DOWN)
+
+        def on_state(state):
+            if state in (AppState.CRASHED, AppState.HUNG):
+                self.ledger.open_incident(category, target, self.sim.now)
+            elif state is AppState.STOPPED and not app.host.is_up:
+                self.ledger.open_incident(category, target, self.sim.now,
+                                          note="host-down")
+            elif state is AppState.RUNNING:
+                self.ledger.close_incident(target, self.sim.now,
+                                           auto_repaired=True)
+
+        app.state_changed.subscribe(on_state)
+
+    def _on_notification(self, note) -> None:
+        """Any critical notification mentioning an open incident's
+        target stamps its detection time."""
+        for inc in self.ledger.incidents:
+            if inc.open and inc.detected_at is None:
+                host, _, appname = inc.target.partition("/")
+                if host in note.subject or appname in note.subject:
+                    self.ledger.mark_detected(inc.target, self.sim.now)
+
+    # -- detection via flags ------------------------------------------------------------
+
+    def scan_flags_for_detection(self) -> None:
+        """Stamp detection from agent fault flags (called by drivers
+        after a run; flags live on each host's own filesystem)."""
+        from repro.core.flags import FlagStore
+        for inc in self.ledger.incidents:
+            if inc.detected_at is not None:
+                continue
+            host_name, _, app_name = inc.target.partition("/")
+            host = self.site.dc.hosts.get(host_name)
+            if host is None or not host.is_up:
+                continue
+            store = FlagStore(host.fs, f"svc_{app_name}")
+            for flag in store.flags():
+                if flag.status in ("fault", "fixed", "failed") \
+                        and flag.time >= inc.start:
+                    inc.detected_at = flag.time
+                    break
+
+    # -- convenience ---------------------------------------------------------------------
+
+    def run_hours(self, hours: float) -> None:
+        self.sim.run(until=self.sim.now + hours * 3600.0)
+
+    def open_incidents(self) -> List:
+        return [i for i in self.ledger.incidents if i.open]

@@ -1,0 +1,268 @@
+"""Live fault injection.
+
+Applies concrete faults to a running simulated datacentre.  Each
+injector method returns a :class:`FaultEvent` so experiments can later
+join detection/repair times against injection times.  The
+:meth:`FaultInjector.random_fault` dispatcher picks a concrete flavour
+for an abstract Fig. 2 category, which is how stochastic campaigns in
+full-fidelity mode choose what actually breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.base import AppState
+from repro.apps.database import Database
+from repro.faults.models import Category, FaultEvent
+from repro.cluster.hardware import ComponentKind, ComponentState
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Breaks things on purpose."""
+
+    def __init__(self, dc, rng):
+        self.dc = dc
+        self.sim = dc.sim
+        self.rng = rng
+        self.injected: List[FaultEvent] = []
+
+    def _record(self, category: Category, kind: str,
+                target: str) -> FaultEvent:
+        ev = FaultEvent(category, kind, self.sim.now, target)
+        self.injected.append(ev)
+        return ev
+
+    # -- application faults ------------------------------------------------------
+
+    def db_crash(self, db: Database) -> FaultEvent:
+        """The headline fault: a database dies mid-whatever."""
+        db.crash("injected: internal error ORA-00600")
+        return self._record(Category.MID_CRASH, "db-crash",
+                            f"{db.host.name}/{db.name}")
+
+    def app_crash(self, app, category: Category = Category.FRONT_END) -> FaultEvent:
+        app.crash("injected: segmentation fault")
+        return self._record(category, "app-crash",
+                            f"{app.host.name}/{app.name}")
+
+    def app_hang(self, app, category: Category = Category.FRONT_END) -> FaultEvent:
+        """The latent error: still in ps, serving nothing."""
+        app.hang("injected: mutex deadlock")
+        return self._record(category, "app-hang",
+                            f"{app.host.name}/{app.name}")
+
+    def config_corruption(self, app) -> FaultEvent:
+        """Human error: someone edited the config; the app dies and
+        will not come back until the configuration is restored."""
+        app.config_ok = False
+        app.crash("injected: operator changed startup parameters")
+        return self._record(Category.HUMAN, "config-corruption",
+                            f"{app.host.name}/{app.name}")
+
+    def data_corruption(self, app) -> FaultEvent:
+        """Completely-down class: corrupt files; needs a restore."""
+        app.data_ok = False
+        app.crash("injected: block corruption detected")
+        return self._record(Category.COMPLETELY_DOWN, "data-corruption",
+                            f"{app.host.name}/{app.name}")
+
+    def wrong_process_killed(self, app) -> FaultEvent:
+        """Human error flavour two: an operator pkill'd the wrong thing."""
+        if app.procs:
+            victim = app.procs[int(self.rng.integers(len(app.procs)))]
+            app.host.ptable.kill(victim.pid)
+            try:
+                app.procs.remove(victim)
+            except ValueError:
+                pass
+        app.degrade("missing worker process")
+        return self._record(Category.HUMAN, "wrong-kill",
+                            f"{app.host.name}/{app.name}")
+
+    # -- performance faults ------------------------------------------------------------
+
+    def runaway_process(self, host) -> FaultEvent:
+        """A user process eats a CPU."""
+        user = f"user{int(self.rng.integers(10)):02d}"
+        host.ptable.spawn(user, "runaway.sh", cpu_pct=95.0, mem_mb=8.0,
+                          now=self.sim.now)
+        return self._record(Category.PERFORMANCE, "runaway-process",
+                            host.name)
+
+    def memory_leak(self, host, mb: float = 0.0) -> FaultEvent:
+        """A process bloats until the pager thrashes (it grabs nearly
+        all the currently free memory, whatever else is running)."""
+        size = mb or host.memory_free_mb() * 0.99
+        host.ptable.spawn("appuser", "leaky_daemon", cpu_pct=5.0,
+                          mem_mb=size, now=self.sim.now)
+        return self._record(Category.PERFORMANCE, "memory-leak", host.name)
+
+    def disk_fill(self, host, mount: str = "/logs",
+                  fraction: float = 0.99) -> FaultEvent:
+        host.fs.fill(mount, fraction)
+        return self._record(Category.PERFORMANCE, "disk-fill",
+                            f"{host.name}:{mount}")
+
+    # -- network faults ---------------------------------------------------------------------
+
+    def lan_failure(self, lan) -> FaultEvent:
+        lan.fail()
+        return self._record(Category.FIREWALL_NETWORK, "lan-fail", lan.name)
+
+    def nic_failure(self, host, ifname: Optional[str] = None) -> FaultEvent:
+        names = sorted(host.nics)
+        if not names:
+            raise ValueError(f"{host.name} has no NICs")
+        ifname = ifname or names[int(self.rng.integers(len(names)))]
+        host.nics[ifname].fail()
+        return self._record(Category.FIREWALL_NETWORK, "nic-fail",
+                            f"{host.name}:{ifname}")
+
+    def nameservice_failure(self, ns) -> FaultEvent:
+        ns.fail()
+        return self._record(Category.FIREWALL_NETWORK, "dns-fail", "dns")
+
+    # -- hardware faults -----------------------------------------------------------------------
+
+    def component_failure(self, host,
+                          kind: Optional[ComponentKind] = None) -> FaultEvent:
+        comps = (host.inventory.of_kind(kind) if kind
+                 else host.inventory.components)
+        live = [c for c in comps if c.state is not ComponentState.FAILED]
+        if not live:
+            raise ValueError(f"{host.name}: nothing left to fail")
+        comp = live[int(self.rng.integers(len(live)))]
+        comp.fail(self.sim.now)
+        host.log_error("kernel", f"hardware fault: {comp.name}")
+        if host.inventory.fatal():
+            host.crash(f"fatal hardware: {comp.name}")
+        return self._record(Category.HARDWARE, f"hw-{comp.kind.value}",
+                            f"{host.name}:{comp.name}")
+
+    # -- infrastructure faults ---------------------------------------------------------------------
+
+    def cron_death(self, host) -> FaultEvent:
+        """crond dies: every agent on the host stops waking.  Only the
+        administration servers' flag watchdog can notice."""
+        host.crond.kill()
+        host.ptable.kill_command("crond")
+        return self._record(Category.COMPLETELY_DOWN, "cron-death",
+                            host.name)
+
+    def lsf_crash(self, master) -> FaultEvent:
+        master.crash("injected: mbatchd assertion failure")
+        return self._record(Category.LSF, "lsf-crash", master.host.name)
+
+    # -- category dispatcher ----------------------------------------------------------------------------
+
+    def random_fault(self, category: Category) -> Optional[FaultEvent]:
+        """Inject a random concrete fault of the given category against
+        a random suitable target; None when no target qualifies."""
+        pick = self._pick
+        if category is Category.MID_CRASH:
+            db = pick(self._databases(running=True))
+            return self.db_crash(db) if db else None
+        if category is Category.FRONT_END:
+            apps = [a for a in self._apps("frontend") + self._apps("webserver")
+                    if a.is_running()]
+            app = pick(apps)
+            if app is None:
+                return None
+            if self.rng.random() < 0.3:
+                return self.app_hang(app)
+            return self.app_crash(app)
+        if category is Category.HUMAN:
+            apps = [a for a in self._all_apps() if a.is_running()]
+            app = pick(apps)
+            if app is None:
+                return None
+            if self.rng.random() < 0.5:
+                return self.config_corruption(app)
+            return self.wrong_process_killed(app)
+        if category is Category.PERFORMANCE:
+            host = pick(self._managed_hosts())
+            if host is None:
+                return None
+            r = self.rng.random()
+            if r < 0.4:
+                return self.runaway_process(host)
+            if r < 0.7:
+                return self.memory_leak(host)
+            return self.disk_fill(host)
+        if category is Category.LSF:
+            masters = [a for a in self._all_apps()
+                       if a.app_type == "scheduler" and a.is_running()]
+            master = pick(masters)
+            return self.lsf_crash(master) if master else None
+        if category is Category.FIREWALL_NETWORK:
+            lans = [l for l in self.dc.lans.values() if l.up]
+            if lans and self.rng.random() < 0.4:
+                return self.lan_failure(pick(lans))
+            host = pick(self._managed_hosts())
+            return self.nic_failure(host) if host else None
+        if category is Category.HARDWARE:
+            host = pick(self._managed_hosts())
+            return self.component_failure(host) if host else None
+        if category is Category.COMPLETELY_DOWN:
+            apps = [a for a in self._all_apps() if a.is_running()]
+            app = pick(apps)
+            return self.data_corruption(app) if app else None
+        raise ValueError(f"unknown category {category!r}")
+
+    # -- stochastic campaigns (full fidelity) -----------------------------------
+
+    def schedule_poisson(self, rates_per_day: Dict[Category, float],
+                         horizon: float) -> int:
+        """Schedule Poisson fault arrivals against the live datacentre.
+
+        ``rates_per_day`` gives the expected faults per simulated day
+        per category.  Concrete targets are chosen at *fire time* (a
+        fault scheduled for a host that meanwhile died simply fizzles,
+        like real lightning striking a hole).  Returns the number of
+        arrivals scheduled.  Used by the full-fidelity soak tests; the
+        year-scale Fig. 2 campaign uses the fast path instead.
+        """
+        scheduled = 0
+        for category, rate in rates_per_day.items():
+            lam = rate * horizon / 86400.0
+            n = int(self.rng.poisson(lam))
+            for t in self.rng.uniform(0.0, horizon, size=n):
+                self.sim.schedule(float(t), self._fire_random, category)
+                scheduled += 1
+        return scheduled
+
+    def _fire_random(self, category: Category) -> None:
+        try:
+            self.random_fault(category)
+        except ValueError:
+            pass        # no eligible target right now: the fault fizzles
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _pick(self, seq):
+        seq = list(seq)
+        if not seq:
+            return None
+        return seq[int(self.rng.integers(len(seq)))]
+
+    def _managed_hosts(self):
+        """Up hosts inside the datacentre proper.  Hosts in the
+        'external' group (feed gateways standing in for the outside
+        world) are not fault targets -- nothing on site manages them."""
+        external = set(self.dc.groups.get("external", ()))
+        return [h for h in self.dc.up_hosts() if h.name not in external]
+
+    def _all_apps(self) -> List:
+        return [a for h in self.dc.hosts.values() for a in h.apps.values()]
+
+    def _apps(self, app_type: str) -> List:
+        return [a for a in self._all_apps() if a.app_type == app_type]
+
+    def _databases(self, running: bool = False) -> List[Database]:
+        dbs = [a for a in self._all_apps() if isinstance(a, Database)]
+        if running:
+            dbs = [d for d in dbs if d.state is AppState.RUNNING]
+        return dbs

@@ -1,0 +1,77 @@
+"""Process accounting views.
+
+§3.5 item list: "processes per user name, per command name and
+arguments, per user and command name, per CPU" -- the pivot tables the
+performance intelliagents compare against baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["AccountRow", "ProcessAccountant"]
+
+
+@dataclass(frozen=True)
+class AccountRow:
+    key: str
+    nproc: int
+    cpu_pct: float
+    mem_mb: float
+
+
+class ProcessAccountant:
+    """Pivots over a host's process table."""
+
+    def __init__(self, host):
+        self.host = host
+
+    def _pivot(self, keyfn) -> List[AccountRow]:
+        agg: Dict[str, List[float]] = {}
+        for proc in self.host.ptable:
+            key = keyfn(proc)
+            row = agg.setdefault(key, [0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += proc.cpu_pct
+            row[2] += proc.mem_mb
+        return sorted(
+            (AccountRow(k, int(v[0]), v[1], v[2]) for k, v in agg.items()),
+            key=lambda r: -r.cpu_pct)
+
+    def per_user(self) -> List[AccountRow]:
+        return self._pivot(lambda p: p.user)
+
+    def per_command(self) -> List[AccountRow]:
+        return self._pivot(lambda p: p.command)
+
+    def per_command_args(self) -> List[AccountRow]:
+        return self._pivot(lambda p: p.cmdline)
+
+    def per_user_command(self) -> List[AccountRow]:
+        return self._pivot(lambda p: f"{p.user}:{p.command}")
+
+    def per_cpu(self) -> List[AccountRow]:
+        """Round-robin attribution of runnable processes to CPUs (the
+        sim does not pin processes; this mirrors mpstat's view)."""
+        cpus = max(1, self.host.effective_cpus())
+        agg: Dict[str, List[float]] = {
+            f"cpu{i}": [0, 0.0, 0.0] for i in range(cpus)}
+        runnable = [p for p in self.host.ptable
+                    if p.state.value == "R"]
+        for i, proc in enumerate(sorted(runnable, key=lambda p: p.pid)):
+            row = agg[f"cpu{i % cpus}"]
+            row[0] += 1
+            row[1] += proc.cpu_pct
+            row[2] += proc.mem_mb
+        return [AccountRow(k, int(v[0]), v[1], v[2])
+                for k, v in sorted(agg.items())]
+
+    def heaviest_user(self) -> Tuple[str, float]:
+        """The user burning the most CPU (runaway hunting)."""
+        rows = [r for r in self.per_user()
+                if r.key not in ("root", "daemon")]
+        if not rows:
+            return ("", 0.0)
+        top = rows[0]
+        return (top.key, top.cpu_pct)

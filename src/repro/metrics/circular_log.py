@@ -1,0 +1,46 @@
+"""Circular-queue ASCII log files.
+
+§3.5: "Each file produced by persistent state processes, was managed as
+a circular queue, the length of which was configurable."  The log lives
+in the host's simulated filesystem as a real flat-ASCII file, so disk
+accounting and the agents' file-based workflows see it; the circular
+discipline caps its length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["CircularLog"]
+
+
+class CircularLog:
+    """A fixed-capacity append log backed by a SimFile."""
+
+    def __init__(self, fs, path: str, maxlen: int = 1000):
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self.fs = fs
+        self.path = path
+        self.maxlen = maxlen
+        if not fs.exists(path):
+            fs.write(path, [], now=0.0)
+
+    def append(self, line: str, now: float = 0.0) -> None:
+        """Append, evicting the oldest line(s) beyond capacity."""
+        f = self.fs.append(self.path, line, now=now)
+        if len(f.lines) > self.maxlen:
+            # rewrite keeps mount accounting consistent
+            self.fs.write(self.path, f.lines[-self.maxlen:], now=now)
+
+    def lines(self) -> List[str]:
+        return self.fs.read(self.path)
+
+    def last(self, n: int = 1) -> List[str]:
+        return self.lines()[-n:]
+
+    def __len__(self) -> int:
+        return len(self.fs.read(self.path))
+
+    def clear(self, now: float = 0.0) -> None:
+        self.fs.write(self.path, [], now=now)

@@ -1,0 +1,118 @@
+"""Time-series handling for collected measurements.
+
+§3.5: "Different types of measurements were associated together by
+matching their timestamps.  Measurements were ordered by timestamp and
+treated as a time series."  Implemented over numpy for the campaign-
+scale aggregations (vectorised joins beat per-row Python by orders of
+magnitude; see the hpc-parallel guides).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "merge_by_timestamp"]
+
+
+class TimeSeries:
+    """An append-friendly (timestamp, value) series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing ({t} < {self._t[-1]})")
+        self._t.append(float(t))
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=np.float64)
+
+    # -- statistics -----------------------------------------------------------
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self._v else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self._v else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if self._v else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q)) if self._v else 0.0
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with t0 <= t < t1."""
+        t, v = self.times, self.values
+        mask = (t >= t0) & (t < t1)
+        out = TimeSeries(self.name)
+        out._t = t[mask].tolist()
+        out._v = v[mask].tolist()
+        return out
+
+    def resample(self, period: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean value per period bucket; returns (bucket_starts, means)."""
+        if not self._t:
+            return (np.empty(0), np.empty(0))
+        t, v = self.times, self.values
+        buckets = np.floor(t / period).astype(np.int64)
+        uniq, inverse = np.unique(buckets, return_inverse=True)
+        sums = np.bincount(inverse, weights=v)
+        counts = np.bincount(inverse)
+        return (uniq * period, sums / counts)
+
+    def breaches(self, threshold: float, above: bool = True) -> np.ndarray:
+        """Timestamps where the series crosses a threshold."""
+        t, v = self.times, self.values
+        mask = v > threshold if above else v < threshold
+        return t[mask]
+
+
+def merge_by_timestamp(series: Sequence[TimeSeries], *,
+                       tolerance: float = 0.0) -> Dict[str, np.ndarray]:
+    """Join several series on (approximately) matching timestamps.
+
+    Returns a dict with key ``"t"`` (the common timestamps) and one key
+    per series name holding the matched values.  A timestamp is kept
+    when *every* series has a sample within ``tolerance`` of it.
+    This is the paper's 'associated together by matching timestamps'.
+    """
+    if not series:
+        return {"t": np.empty(0)}
+    base = series[0]
+    t0 = base.times
+    keep = np.ones(len(t0), dtype=bool)
+    matched: List[np.ndarray] = []
+    for s in series[1:]:
+        ts = s.times
+        if len(ts) == 0:
+            return {"t": np.empty(0), base.name: np.empty(0),
+                    **{x.name: np.empty(0) for x in series[1:]}}
+        idx = np.searchsorted(ts, t0)
+        idx = np.clip(idx, 0, len(ts) - 1)
+        # nearest of idx and idx-1
+        left = np.clip(idx - 1, 0, len(ts) - 1)
+        use_left = np.abs(ts[left] - t0) <= np.abs(ts[idx] - t0)
+        nearest = np.where(use_left, left, idx)
+        ok = np.abs(ts[nearest] - t0) <= tolerance
+        keep &= ok
+        matched.append(nearest)
+    out: Dict[str, np.ndarray] = {"t": t0[keep], base.name: base.values[keep]}
+    for s, nearest in zip(series[1:], matched):
+        out[s.name] = s.values[nearest[keep]]
+    return out

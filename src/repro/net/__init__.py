@@ -1,0 +1,23 @@
+"""Simulated network substrate.
+
+Models the figure-1 topology: one or more public LANs carrying user and
+application traffic, plus the dedicated **private intelliagent
+network**.  The routing layer implements the paper's fallback rule: "if
+the private network fails, intelliagents can automatically re-route
+their communication traffic over the public LAN".
+
+- :mod:`network` -- LANs and NICs with failure states and counters.
+- :mod:`tcp` -- connection establishment with application timeouts.
+- :mod:`routing` -- the agent channel with private→public failover.
+- :mod:`nameservice` -- DNS/NIS-style name lookup (§3.6 item 7).
+- :mod:`nfs` -- the administration servers' shared NFS pool.
+"""
+
+from repro.net.network import Lan, Nic
+from repro.net.tcp import ConnectResult, tcp_connect
+from repro.net.routing import AgentChannel, Delivery
+from repro.net.nameservice import NameService
+from repro.net.nfs import SharedPool
+
+__all__ = ["Lan", "Nic", "ConnectResult", "tcp_connect", "AgentChannel",
+           "Delivery", "NameService", "SharedPool"]

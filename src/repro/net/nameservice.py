@@ -1,0 +1,66 @@
+"""Name service (DNS / NIS / NIS+ / LDAP).
+
+§3.6 lists "name server response (DNS, NIS, NIS+, LDAP)" among the
+network measurements.  The model is a registry with a configurable
+response time that the network agents probe; an outage makes lookups
+fail, which is one of the firewall/network fault flavours in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["NameService"]
+
+
+class NameService:
+    """A single logical name server for the site."""
+
+    def __init__(self, sim, base_response_ms: float = 2.0):
+        self.sim = sim
+        self.base_response_ms = base_response_ms
+        self.records: Dict[str, str] = {}
+        self.up = True
+        self.degraded = False      # slow but answering
+        self.lookups = 0
+        self.failures = 0
+
+    def register(self, name: str, ip: str) -> None:
+        self.records[name] = ip
+
+    def register_host(self, host, lan_name: Optional[str] = None) -> None:
+        """Register every NIC address of a host (or just one LAN's)."""
+        for nic in host.nics.values():
+            if lan_name is None or nic.lan.name == lan_name:
+                self.records[f"{host.name}.{nic.lan.name}"] = nic.ip
+        self.records.setdefault(host.name, next(
+            (n.ip for n in host.nics.values()), "0.0.0.0"))
+
+    def lookup(self, name: str) -> Tuple[Optional[str], float]:
+        """Resolve ``name``.  Returns (ip-or-None, response_ms)."""
+        self.lookups += 1
+        if not self.up:
+            self.failures += 1
+            return (None, 0.0)
+        response = self.base_response_ms * (50.0 if self.degraded else 1.0)
+        ip = self.records.get(name)
+        if ip is None:
+            self.failures += 1
+        return (ip, response)
+
+    def response_ms(self) -> float:
+        """What a health probe of the name server observes (negative
+        means no answer)."""
+        if not self.up:
+            return -1.0
+        return self.base_response_ms * (50.0 if self.degraded else 1.0)
+
+    def fail(self) -> None:
+        self.up = False
+
+    def slow(self) -> None:
+        self.degraded = True
+
+    def repair(self) -> None:
+        self.up = True
+        self.degraded = False

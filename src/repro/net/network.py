@@ -1,0 +1,159 @@
+"""LANs and NICs.
+
+A :class:`Lan` is a shared segment (the site used 100 Base-T Ethernet).
+Hosts attach through :class:`Nic` objects which carry the per-interface
+counters that ``netstat`` reports and the network agents watch
+(packets, errors, collisions, utilisation).
+
+Failure modes: a whole LAN can fail (switch death / firewall
+misconfiguration), and an individual NIC can fail (hardware fault).
+Either breaks reachability for paths that depend on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Lan", "Nic"]
+
+
+class Nic:
+    """One network interface attached to one LAN."""
+
+    __slots__ = ("host", "lan", "ifname", "ip", "ok",
+                 "packets_in", "packets_out", "bytes_in", "bytes_out",
+                 "errors_in", "errors_out", "collisions")
+
+    def __init__(self, host, lan: "Lan", ifname: str, ip: str):
+        self.host = host
+        self.lan = lan
+        self.ifname = ifname
+        self.ip = ip
+        self.ok = True
+        self.packets_in = 0
+        self.packets_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.errors_in = 0
+        self.errors_out = 0
+        self.collisions = 0
+
+    def fail(self) -> None:
+        self.ok = False
+
+    def repair(self) -> None:
+        self.ok = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Nic {self.host.name}:{self.ifname} on {self.lan.name}>"
+
+
+class Lan:
+    """A shared network segment.
+
+    ``base_latency_ms`` is the unloaded round-trip; effective latency
+    grows with utilisation.  Utilisation decays between observations
+    via an exponential window so agents polling every few minutes see a
+    recent-average picture rather than an instantaneous spike.
+    """
+
+    #: window (seconds) over which traffic counts toward utilisation
+    UTIL_WINDOW = 300.0
+
+    def __init__(self, sim, name: str, *, kind: str = "public",
+                 bandwidth_mbps: float = 100.0,
+                 base_latency_ms: float = 0.5,
+                 subnet: str = "192.168.1"):
+        self.sim = sim
+        self.name = name
+        self.kind = kind
+        self.bandwidth_mbps = bandwidth_mbps
+        self.base_latency_ms = base_latency_ms
+        self.subnet = subnet
+        self.up = True
+        self.nics: Dict[str, Nic] = {}      # keyed by host name
+        self._ip_counter = itertools.count(10)
+        self._window_bytes = 0.0
+        self._window_start = sim.now
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def attach(self, host, ifname: Optional[str] = None) -> Nic:
+        if host.name in self.nics:
+            raise ValueError(f"{host.name} already on LAN {self.name}")
+        ifname = ifname or f"hme{len(host.nics)}"
+        ip = f"{self.subnet}.{next(self._ip_counter)}"
+        nic = Nic(host, self, ifname, ip)
+        self.nics[host.name] = nic
+        host.nics[ifname] = nic
+        return nic
+
+    def nic_of(self, host) -> Optional[Nic]:
+        return self.nics.get(host.name)
+
+    # -- failure ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        self.up = False
+
+    def repair(self) -> None:
+        self.up = True
+
+    # -- traffic --------------------------------------------------------------------
+
+    def _decay_window(self) -> None:
+        now = self.sim.now
+        if now - self._window_start >= self.UTIL_WINDOW:
+            self._window_bytes = 0.0
+            self._window_start = now
+
+    def utilization(self) -> float:
+        """Fraction of capacity consumed over the recent window, 0..1."""
+        self._decay_window()
+        window = max(1.0, self.sim.now - self._window_start,
+                     self.UTIL_WINDOW / 10.0)
+        capacity_bytes = self.bandwidth_mbps * 125_000 * window
+        return min(1.0, self._window_bytes / capacity_bytes)
+
+    def latency_ms(self) -> float:
+        """Effective RTT: grows hyperbolically as the segment saturates."""
+        util = self.utilization()
+        return self.base_latency_ms / max(0.05, 1.0 - min(0.95, util))
+
+    def path_ok(self, src, dst) -> Tuple[bool, float]:
+        """Can ``src`` reach ``dst`` across this LAN right now?"""
+        if not self.up:
+            return (False, 0.0)
+        nsrc, ndst = self.nics.get(src.name), self.nics.get(dst.name)
+        if nsrc is None or ndst is None or not (nsrc.ok and ndst.ok):
+            return (False, 0.0)
+        return (True, self.latency_ms())
+
+    def send(self, src, dst, nbytes: int) -> Tuple[bool, float]:
+        """Move ``nbytes`` from ``src`` to ``dst``; updates counters.
+        Returns (delivered, latency_ms)."""
+        ok, latency = self.path_ok(src, dst)
+        nsrc, ndst = self.nics.get(src.name), self.nics.get(dst.name)
+        if not ok:
+            if nsrc is not None:
+                nsrc.errors_out += 1
+            return (False, 0.0)
+        self._decay_window()
+        packets = max(1, nbytes // 1460)
+        nsrc.packets_out += packets
+        nsrc.bytes_out += nbytes
+        ndst.packets_in += packets
+        ndst.bytes_in += nbytes
+        if self.utilization() > 0.8:
+            nsrc.collisions += 1
+        self._window_bytes += nbytes
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        return (True, latency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"<Lan {self.name} ({self.kind}) {state} hosts={len(self.nics)}>"

@@ -1,0 +1,140 @@
+"""Automatic static-ontology generation (§5 future work).
+
+"We are also trying to reduce as much as possible manual input and
+generate automatically static ontologies."
+
+Two pieces:
+
+- :func:`generate_issl` builds the (normally hand-maintained) ISSL
+  straight from the live datacentre registry, splitting into multiple
+  lists when the 200-entry cap would overflow.
+- :class:`SlktDriftDetector` watches a host's *persistent* divergence
+  from its SLKT and proposes template updates: a deviation that a
+  human has confirmed as the new normal (an upgraded version, a
+  legitimately changed process count) becomes an updated template
+  instead of an eternal false alarm -- the ontology-side counterpart
+  of the baseline adjust-on-evidence rule (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ontology.issl import Issl, MAX_ENTRIES
+from repro.ontology.slkt import AppTemplate, Slkt, build_slkt
+
+__all__ = ["generate_issl", "ProposedUpdate", "SlktDriftDetector"]
+
+
+def generate_issl(dc, *, prefer_lan: str = "") -> List[Issl]:
+    """Build ISSLs from the live datacentre.
+
+    Returns one or more lists (each within the 200-entry cap).  Entry
+    IPs come from the host's NIC on ``prefer_lan`` when given, else its
+    first NIC; services are the installed application names.
+    """
+    lists: List[Issl] = [Issl()]
+    for name in sorted(dc.hosts):
+        host = dc.hosts[name]
+        nic = None
+        if prefer_lan:
+            nic = next((n for n in host.nics.values()
+                        if n.lan.name == prefer_lan), None)
+        if nic is None:
+            nic = next(iter(host.nics.values()), None)
+        ip = nic.ip if nic is not None else "0.0.0.0"
+        if len(lists[-1]) >= MAX_ENTRIES:
+            lists.append(Issl())
+        lists[-1].add(name, ip, kind="server",
+                      services=sorted(host.apps))
+    return lists
+
+
+@dataclass(frozen=True)
+class ProposedUpdate:
+    """One proposed SLKT change, for a human to approve."""
+
+    app: str
+    kind: str           # new-app | gone-app | version | processes | port
+    old: str
+    new: str
+
+    def describe(self) -> str:
+        return f"{self.app}: {self.kind} {self.old!r} -> {self.new!r}"
+
+
+class SlktDriftDetector:
+    """Tracks live-vs-template divergence and proposes updates.
+
+    A divergence must be observed ``confirmations`` times in a row
+    (i.e. persist across that many healthy observations) before it is
+    proposed -- transient states never reach a proposal.
+    """
+
+    def __init__(self, slkt: Slkt, confirmations: int = 3):
+        self.slkt = slkt
+        self.confirmations = confirmations
+        self._streak: Dict[Tuple[str, str], int] = {}
+        self.proposals_made = 0
+        self.updates_applied = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, host) -> List[ProposedUpdate]:
+        """Compare the live host against the template; return the
+        divergences that have persisted long enough to propose."""
+        current = build_slkt(host)
+        diffs = self._diff(current)
+        live_keys = {(d.app, d.kind) for d in diffs}
+        # decay streaks for divergences that vanished
+        for key in list(self._streak):
+            if key not in live_keys:
+                del self._streak[key]
+        ready: List[ProposedUpdate] = []
+        for d in diffs:
+            key = (d.app, d.kind)
+            self._streak[key] = self._streak.get(key, 0) + 1
+            if self._streak[key] >= self.confirmations:
+                ready.append(d)
+        self.proposals_made += len(ready)
+        return ready
+
+    def _diff(self, current: Slkt) -> List[ProposedUpdate]:
+        out: List[ProposedUpdate] = []
+        old_apps, new_apps = self.slkt.apps, current.apps
+        for name in sorted(set(old_apps) | set(new_apps)):
+            old, new = old_apps.get(name), new_apps.get(name)
+            if old is None:
+                out.append(ProposedUpdate(name, "new-app", "", name))
+                continue
+            if new is None:
+                out.append(ProposedUpdate(name, "gone-app", name, ""))
+                continue
+            if old.version != new.version:
+                out.append(ProposedUpdate(name, "version",
+                                          old.version, new.version))
+            if old.processes != new.processes:
+                out.append(ProposedUpdate(
+                    name, "processes",
+                    ",".join(f"{c}:{n}" for c, n in old.processes),
+                    ",".join(f"{c}:{n}" for c, n in new.processes)))
+            if old.port != new.port:
+                out.append(ProposedUpdate(name, "port",
+                                          str(old.port), str(new.port)))
+        return out
+
+    # -- application --------------------------------------------------------------
+
+    def apply(self, host, updates: List[ProposedUpdate]) -> Slkt:
+        """A human approved: fold the updates into the template by
+        re-capturing the affected apps from the live host."""
+        current = build_slkt(host)
+        for upd in updates:
+            if upd.kind == "gone-app":
+                self.slkt.apps.pop(upd.app, None)
+            elif upd.app in current.apps:
+                self.slkt.apps[upd.app] = current.apps[upd.app]
+            self._streak.pop((upd.app, upd.kind), None)
+            self.updates_applied += 1
+        return self.slkt

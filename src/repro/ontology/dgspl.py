@@ -1,0 +1,159 @@
+"""Dynamic global service profile lists (DGSPL).
+
+"Information about all running and available services across the entire
+datacentre.  Available services are presented by <Server type, OS,
+memory and CPUs, Application type and version, Current Load, Users
+logged in, Geographical Location, Site Name>."
+
+Built by the administration servers from collected DLSPs, regenerated
+"per database type every 15 minutes on average", and queried by the
+job manager to produce the best-server-first shortlist for
+resubmissions.  §5 notes the same lists could feed grid resource
+discovery, which :meth:`Dgspl.grid_advertisement` sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.specs import SPEC_CATALOGUE
+from repro.ontology.base import OntologyDoc, OntologyError
+from repro.ontology.dlsp import Dlsp
+
+__all__ = ["GlobalServiceEntry", "Dgspl", "build_dgspl"]
+
+
+@dataclass(frozen=True)
+class GlobalServiceEntry:
+    """One available service, exactly the paper's 8-tuple."""
+
+    server: str
+    server_type: str
+    os: str
+    ram_mb: int
+    cpus: int
+    app_name: str
+    app_type: str
+    app_version: str
+    current_load: float
+    users: int
+    location: str
+    site: str
+
+    @property
+    def power(self) -> float:
+        spec = SPEC_CATALOGUE.get(self.server_type)
+        if spec is not None:
+            return spec.power
+        return float(self.cpus * 400 + self.ram_mb / 16.0)
+
+
+class Dgspl:
+    """The datacentre-wide service list."""
+
+    def __init__(self, generated_at: float = 0.0):
+        self.generated_at = generated_at
+        self.entries: List[GlobalServiceEntry] = []
+
+    def add(self, entry: GlobalServiceEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- queries -------------------------------------------------------------
+
+    def services_of_type(self, app_type: str) -> List[GlobalServiceEntry]:
+        return [e for e in self.entries if e.app_type == app_type]
+
+    def on_server(self, server: str) -> List[GlobalServiceEntry]:
+        return [e for e in self.entries if e.server == server]
+
+    def shortlist(self, app_type: str, *, min_power: float = 0.0,
+                  exclude_servers: Iterable[str] = (),
+                  max_load: Optional[float] = None
+                  ) -> List[GlobalServiceEntry]:
+        """Best-first candidates: running services of the right type,
+        power >= min_power, not excluded, ordered by (load asc, power
+        desc) -- "the best available database server ... in a shortlist,
+        with the best choice always first"."""
+        excluded = set(exclude_servers)
+        out = [e for e in self.services_of_type(app_type)
+               if e.server not in excluded and e.power >= min_power
+               and (max_load is None or e.current_load <= max_load)]
+        out.sort(key=lambda e: (e.current_load, -e.power, e.server))
+        return out
+
+    def power_of(self, server: str) -> float:
+        for e in self.entries:
+            if e.server == server:
+                return e.power
+        return 0.0
+
+    def grid_advertisement(self) -> List[str]:
+        """§5's future-work hook: present available services to a grid
+        resource-discovery mechanism as one line per service."""
+        return [
+            f"service://{e.site}/{e.server}/{e.app_name} "
+            f"type={e.app_type} version={e.app_version} os={e.os} "
+            f"cpus={e.cpus} ram_mb={e.ram_mb} load={e.current_load:.2f}"
+            for e in sorted(self.entries, key=lambda x: x.server)
+        ]
+
+    # -- codec -------------------------------------------------------------------
+
+    def to_doc(self) -> OntologyDoc:
+        doc = OntologyDoc("DGSPL", self.generated_at)
+        for e in self.entries:
+            doc.add("service",
+                    server=e.server, server_type=e.server_type, os=e.os,
+                    ram_mb=str(e.ram_mb), cpus=str(e.cpus),
+                    app_name=e.app_name, app_type=e.app_type,
+                    app_version=e.app_version,
+                    current_load=repr(e.current_load),
+                    users=str(e.users), location=e.location, site=e.site)
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: OntologyDoc) -> "Dgspl":
+        if doc.kind != "DGSPL":
+            raise OntologyError(f"not a DGSPL document: {doc.kind!r}")
+        out = cls(doc.generated_at)
+        for r in doc.of_type("service"):
+            out.add(GlobalServiceEntry(
+                server=r["server"], server_type=r["server_type"],
+                os=r["os"], ram_mb=int(r["ram_mb"]), cpus=int(r["cpus"]),
+                app_name=r["app_name"], app_type=r["app_type"],
+                app_version=r["app_version"],
+                current_load=float(r["current_load"]),
+                users=int(r["users"]), location=r["location"],
+                site=r["site"]))
+        return out
+
+    def write_to(self, fs, path: str, now: float = 0.0) -> None:
+        self.to_doc().write_to(fs, path, now=now or self.generated_at)
+
+    @classmethod
+    def read_from(cls, fs, path: str) -> "Dgspl":
+        return cls.from_doc(OntologyDoc.read_from(fs, path))
+
+
+def build_dgspl(dlsps: Iterable[Dlsp], now: float = 0.0) -> Dgspl:
+    """Aggregate collected DLSPs into the global list.  Only *healthy*
+    services on *up* hosts are "available" -- the whole point is that
+    the shortlist never offers a dead server."""
+    out = Dgspl(now)
+    for dlsp in dlsps:
+        if not dlsp.up:
+            continue
+        for svc in dlsp.services:
+            if not svc.healthy:
+                continue
+            out.add(GlobalServiceEntry(
+                server=dlsp.hostname, server_type=dlsp.model, os=dlsp.os,
+                ram_mb=dlsp.ram_mb, cpus=dlsp.cpus,
+                app_name=svc.name, app_type=svc.app_type,
+                app_version=svc.version, current_load=dlsp.load_avg,
+                users=dlsp.users, location=dlsp.location, site=dlsp.site))
+    return out

@@ -1,0 +1,24 @@
+"""Human operations baseline.
+
+Before the intelliagents, the site ran BMC Patrol + SystemEdge for
+monitoring and relied on operators and on-call administrators for every
+repair (§4).  This package models that world:
+
+- :mod:`notifications` -- the email/SMS channel both pipelines use.
+- :mod:`operators` -- detection and manual-repair timing: operator
+  coverage by time of week, escalation, expert call-out.  Also scores
+  the *agent* pipeline's timing so the two share one implementation.
+- :mod:`bmc` -- the memory-resident centralised monitor cost model
+  (Figures 3 and 4's baseline) and its detect-only alerting.
+- :mod:`downtime` -- the downtime ledger Fig. 2 aggregates.
+"""
+
+from repro.ops.notifications import Notification, NotificationChannel
+from repro.ops.operators import OperatorModel, Resolution
+from repro.ops.bmc import BaselineMonitor
+from repro.ops.console import Alarm, OperatorConsole
+from repro.ops.downtime import DowntimeLedger, Incident
+
+__all__ = ["Notification", "NotificationChannel", "OperatorModel",
+           "Resolution", "BaselineMonitor", "Alarm", "OperatorConsole",
+           "DowntimeLedger", "Incident"]

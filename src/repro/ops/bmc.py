@@ -1,0 +1,112 @@
+"""BMC-Patrol-style centralised monitor.
+
+Figures 3 and 4 compare per-server CPU and memory consumed by "BMC
+Patrol" against the intelliagents.  The paper measured 0.17-1.1 % CPU
+and 32-58 MB of memory for BMC versus ~0.045 % CPU and a flat 1.6 MB
+for the agents, on the same server at peak time.
+
+The difference the paper attributes it to: BMC-style monitors are
+**memory resident** (a long-lived agent daemon holding per-entity state
+and history caches, polling continuously) while intelliagents are
+cron-run processes that exit after each pass ("they are not memory
+resident ... do not tax the system they look after because of their
+size and simplicity").
+
+:class:`BaselineMonitor` is that cost model plus detect-only alerting.
+It spawns a real process in the host's table (so ``ps`` shows it, and
+its footprint participates in host memory accounting) and exposes
+``cpu_pct()`` / ``memory_mb()`` for the overhead experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["BaselineMonitor"]
+
+
+class BaselineMonitor:
+    """A memory-resident monitoring daemon on one host."""
+
+    #: daemon poll interval, seconds (commercial defaults were seconds,
+    #: not minutes -- that is where the CPU cost comes from)
+    POLL_INTERVAL = 30.0
+
+    def __init__(self, host, *, notifications=None,
+                 recipient: str = "operators",
+                 base_mem_mb: float = 28.0,
+                 cache_mb_per_hour: float = 2.5,
+                 cache_flush_hours: float = 8.0):
+        self.host = host
+        self.sim = host.sim
+        self.notifications = notifications
+        self.recipient = recipient
+        self.base_mem_mb = base_mem_mb
+        self.cache_mb_per_hour = cache_mb_per_hour
+        self.cache_flush_hours = cache_flush_hours
+        self.started_at = self.sim.now
+        self.alerts_raised = 0
+        self._known_down: set[str] = set()
+        self.proc = host.ptable.spawn(
+            "patrol", "PatrolAgent", cpu_pct=self.cpu_pct(),
+            mem_mb=self.memory_mb(), now=self.sim.now, owner=self)
+        self._poll = self.sim.every(self.POLL_INTERVAL, self._tick)
+
+    # -- cost model -----------------------------------------------------------
+
+    def monitored_entities(self) -> int:
+        """Processes + disks + NICs + filesystems + apps under watch."""
+        host = self.host
+        return (len(host.ptable) + host.spec.disks + len(host.nics)
+                + len(host.fs.mounts) + len(host.apps))
+
+    def cpu_pct(self) -> float:
+        """Average CPU share of one CPU, percent.
+
+        Polling cost scales with entity count and inversely with the
+        poll interval; a busy process table costs more to walk.  The
+        shape lands in the paper's 0.2-1.1 % band for a loaded server.
+        """
+        entities = self.monitored_entities()
+        per_poll_ms = 40.0 + 1.2 * entities        # walk + evaluate rules
+        busy_factor = 1.0 + self.host.cpu_utilization() / 80.0
+        pct = (per_poll_ms * busy_factor / 10.0) / self.POLL_INTERVAL
+        return pct
+
+    def memory_mb(self) -> float:
+        """Resident set: base + per-entity state + a history cache that
+        grows until its periodic flush (the 32-58 MB sawtooth)."""
+        entities = self.monitored_entities()
+        hours_up = max(0.0, (self.sim.now - self.started_at) / 3600.0)
+        cache = (hours_up % self.cache_flush_hours) * self.cache_mb_per_hour
+        return self.base_mem_mb + 0.12 * entities + cache
+
+    # -- detect-only alerting ------------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self.host.is_up:
+            return
+        # keep the visible process footprint in sync with the model
+        self.proc.cpu_pct = self.cpu_pct()
+        self.proc.mem_mb = self.memory_mb()
+        for app in self.host.apps.values():
+            if app is self:
+                continue
+            healthy = app.is_healthy()
+            if not healthy and app.name not in self._known_down:
+                # BMC alerts on *visible* failures only: a hung app whose
+                # processes still exist does not trip a process-count rule.
+                if not app.processes_present() or app.state.value == "crashed":
+                    self._known_down.add(app.name)
+                    self.alerts_raised += 1
+                    if self.notifications is not None:
+                        self.notifications.email(
+                            self.recipient,
+                            f"ALERT {self.host.name}/{app.name} down",
+                            severity="critical", sender="patrol")
+            elif healthy:
+                self._known_down.discard(app.name)
+
+    def stop(self) -> None:
+        self._poll.cancel()
+        self.host.ptable.kill(self.proc.pid)

@@ -1,0 +1,120 @@
+"""SystemEdge-style operator console (§4).
+
+"Intelliagent error reporting mechanisms were integrated with
+SystemEdge and notifications were presented to operators from within
+the SystemEdge graphical user interface."
+
+:class:`OperatorConsole` subscribes to the site notification channel
+and keeps the operator-facing state: active alarms grouped by subject,
+severity ordering, acknowledge/clear workflow, and an ASCII board (this
+system's idea of a GUI).  Duplicate notifications for a subject fold
+into one alarm with a repeat count -- operators see one line per
+problem, not a scrolling storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ops.notifications import Notification, NotificationChannel
+
+__all__ = ["Alarm", "OperatorConsole"]
+
+_SEV_ORDER = {"critical": 0, "warning": 1, "info": 2}
+
+
+@dataclass
+class Alarm:
+    """One active problem on the console."""
+
+    subject: str
+    severity: str
+    first_seen: float
+    last_seen: float
+    count: int = 1
+    sender: str = ""
+    acked_by: str = ""
+
+    @property
+    def acked(self) -> bool:
+        return bool(self.acked_by)
+
+
+class OperatorConsole:
+    """The operators' single pane of glass."""
+
+    def __init__(self, channel: NotificationChannel, sim):
+        self.sim = sim
+        self.alarms: Dict[str, Alarm] = {}
+        self.cleared: List[Alarm] = []
+        self.total_notifications = 0
+        channel.subscribe(self._on_notification)
+
+    # -- feed ----------------------------------------------------------------
+
+    def _on_notification(self, note: Notification) -> None:
+        self.total_notifications += 1
+        if note.severity == "info":
+            return          # informational mail is not an alarm
+        key = note.subject
+        alarm = self.alarms.get(key)
+        if alarm is None:
+            self.alarms[key] = Alarm(
+                subject=note.subject, severity=note.severity,
+                first_seen=note.time, last_seen=note.time,
+                sender=note.sender)
+        else:
+            alarm.count += 1
+            alarm.last_seen = note.time
+            if (_SEV_ORDER.get(note.severity, 2)
+                    < _SEV_ORDER.get(alarm.severity, 2)):
+                alarm.severity = note.severity
+
+    # -- operator workflow --------------------------------------------------------
+
+    def active(self, *, unacked_only: bool = False) -> List[Alarm]:
+        """Alarms, most severe then oldest first."""
+        alarms = [a for a in self.alarms.values()
+                  if not (unacked_only and a.acked)]
+        alarms.sort(key=lambda a: (_SEV_ORDER.get(a.severity, 2),
+                                   a.first_seen))
+        return alarms
+
+    def ack(self, subject: str, operator: str) -> bool:
+        alarm = self.alarms.get(subject)
+        if alarm is None:
+            return False
+        alarm.acked_by = operator
+        return True
+
+    def clear(self, subject: str) -> bool:
+        """Problem resolved: move the alarm off the board."""
+        alarm = self.alarms.pop(subject, None)
+        if alarm is None:
+            return False
+        self.cleared.append(alarm)
+        return True
+
+    def clear_matching(self, fragment: str) -> int:
+        victims = [s for s in self.alarms if fragment in s]
+        for s in victims:
+            self.clear(s)
+        return len(victims)
+
+    # -- the "GUI" ---------------------------------------------------------------------
+
+    def board(self, now: Optional[float] = None) -> str:
+        now = self.sim.now if now is None else now
+        lines = [f"OPERATOR CONSOLE  t={now:.0f}s  "
+                 f"active={len(self.alarms)} "
+                 f"cleared={len(self.cleared)}"]
+        if not self.alarms:
+            lines.append("  (all quiet)")
+        for a in self.active():
+            age_min = (now - a.first_seen) / 60.0
+            ack = f" ack:{a.acked_by}" if a.acked else ""
+            rep = f" x{a.count}" if a.count > 1 else ""
+            lines.append(f"  [{a.severity.upper():<8s}] {a.subject}"
+                         f"{rep}  ({age_min:.0f} min){ack}")
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Downtime ledger.
+
+Fig. 2 is an accounting artefact: hours of service downtime per error
+category over a year.  The ledger records incidents (opened when a
+fault takes service away, closed when service returns) and aggregates
+exactly that table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.models import Category
+
+__all__ = ["Incident", "DowntimeLedger"]
+
+
+@dataclass
+class Incident:
+    """One service-affecting incident."""
+
+    category: Category
+    target: str
+    start: float
+    end: Optional[float] = None
+    detected_at: Optional[float] = None
+    auto_repaired: Optional[bool] = None
+    escalated: bool = False
+    note: str = ""
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return float("nan")
+        return self.end - self.start
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.start
+
+
+class DowntimeLedger:
+    """Collects incidents and produces the Fig. 2 aggregation."""
+
+    def __init__(self):
+        self.incidents: List[Incident] = []
+        self._open: Dict[str, Incident] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def open_incident(self, category: Category, target: str,
+                      start: float, note: str = "") -> Incident:
+        """Open an incident; a second open on the same target is a
+        no-op returning the existing one (a fault storm on one service
+        is one outage)."""
+        existing = self._open.get(target)
+        if existing is not None:
+            return existing
+        inc = Incident(category, target, start, note=note)
+        self.incidents.append(inc)
+        self._open[target] = inc
+        return inc
+
+    def mark_detected(self, target: str, t: float) -> None:
+        inc = self._open.get(target)
+        if inc is not None and inc.detected_at is None:
+            inc.detected_at = t
+
+    def close_incident(self, target: str, end: float, *,
+                       auto_repaired: Optional[bool] = None,
+                       escalated: bool = False) -> Optional[Incident]:
+        inc = self._open.pop(target, None)
+        if inc is None:
+            return None
+        inc.end = end
+        if auto_repaired is not None:
+            inc.auto_repaired = auto_repaired
+        inc.escalated = escalated
+        return inc
+
+    def record(self, category: Category, target: str, start: float,
+               duration: float, *, detected_at: Optional[float] = None,
+               auto_repaired: Optional[bool] = None,
+               note: str = "") -> Incident:
+        """Record a complete incident in one call (campaign fast path)."""
+        inc = Incident(category, target, start, end=start + duration,
+                       detected_at=detected_at, auto_repaired=auto_repaired,
+                       note=note)
+        self.incidents.append(inc)
+        return inc
+
+    # -- aggregation -----------------------------------------------------------
+
+    def closed(self) -> List[Incident]:
+        return [i for i in self.incidents if not i.open]
+
+    def hours_by_category(self) -> Dict[Category, float]:
+        """The Fig. 2 rows: downtime hours per category."""
+        out: Dict[Category, float] = {c: 0.0 for c in Category}
+        for inc in self.closed():
+            out[inc.category] += inc.duration / 3600.0
+        return out
+
+    def total_hours(self) -> float:
+        return sum(self.hours_by_category().values())
+
+    def count_by_category(self) -> Dict[Category, int]:
+        out: Dict[Category, int] = {c: 0 for c in Category}
+        for inc in self.incidents:
+            out[inc.category] += 1
+        return out
+
+    def mean_duration_hours(self, category: Optional[Category] = None) -> float:
+        durations = [i.duration for i in self.closed()
+                     if category is None or i.category is category]
+        if not durations:
+            return 0.0
+        return float(np.mean(durations)) / 3600.0
+
+    def detection_latencies(self) -> np.ndarray:
+        vals = [i.detection_latency for i in self.incidents
+                if i.detection_latency is not None]
+        return np.asarray(vals, dtype=np.float64)
+
+    def auto_repair_rate(self) -> float:
+        flags = [i.auto_repaired for i in self.closed()
+                 if i.auto_repaired is not None]
+        if not flags:
+            return 0.0
+        return sum(flags) / len(flags)

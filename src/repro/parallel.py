@@ -1,0 +1,44 @@
+"""Process-pool Monte-Carlo helpers.
+
+Replications of the fault campaign are embarrassingly parallel; per the
+hpc-parallel guides the fan-out uses ``ProcessPoolExecutor`` with one
+task per seed (each task is seconds of work, so per-task overhead is
+negligible) and falls back to in-process execution when the pool is
+unavailable (sandboxes, restricted environments) or for tiny batches.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["replicate", "default_workers"]
+
+
+def default_workers() -> int:
+    cpus = os.cpu_count() or 1
+    return max(1, cpus - 1)
+
+
+def replicate(fn: Callable[[int], T], seeds: Sequence[int], *,
+              processes: Optional[int] = None,
+              min_parallel: int = 4) -> List[T]:
+    """Run ``fn(seed)`` for every seed, in parallel when it pays.
+
+    ``fn`` must be a module-level (picklable) callable.  Results come
+    back in seed order.  Falls back to serial execution for small
+    batches or when worker processes cannot be spawned.
+    """
+    seeds = list(seeds)
+    workers = processes if processes is not None else default_workers()
+    if len(seeds) < min_parallel or workers <= 1:
+        return [fn(s) for s in seeds]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as ex:
+            return list(ex.map(fn, seeds))
+    except (OSError, PermissionError, RuntimeError):
+        # restricted environment: do the work here instead
+        return [fn(s) for s in seeds]

@@ -1,0 +1,412 @@
+"""Deterministic discrete-event simulation kernel.
+
+A classic heap-ordered event scheduler plus a light generator-process
+layer.  The kernel is deliberately small and allocation-lean: a whole
+simulated year of a 215-server datacentre runs through this loop, so the
+per-event cost matters (see the hpc-parallel guide note in DESIGN.md).
+
+Two programming models coexist:
+
+* **Callbacks** -- ``sim.schedule(delay, fn, *args)`` runs ``fn`` at
+  ``sim.now + delay``.  This is what most substrate components use.
+* **Generator processes** -- ``sim.spawn(gen)`` drives a generator that
+  yields either a number (sleep that many simulated seconds) or a
+  :class:`Signal` (sleep until the signal fires).  Long-lived workload
+  drivers (batch jobs, market feeds, operators) are written this way.
+
+Event ordering is total and deterministic: ties on time are broken by an
+explicit priority, then by insertion sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Simulator", "Event", "Signal", "SimProcess", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a generator process by :meth:`SimProcess.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Cancellation is O(1): the heap entry is tombstoned and skipped when
+    popped.  An event fires at most once.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_alive", "_fired")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._alive = True
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call repeatedly."""
+        self._alive = False
+
+    @property
+    def alive(self) -> bool:
+        """True until the event fires or is cancelled."""
+        return self._alive and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def __lt__(self, other: "Event") -> bool:  # heap ordering
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else ("alive" if self._alive else "cancelled")
+        return f"<Event t={self.time:.3f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Signal:
+    """A broadcast condition generator processes can wait on.
+
+    ``yield signal`` suspends the process until someone calls
+    :meth:`fire`; the fired value becomes the value of the yield
+    expression.  A signal can fire many times; each firing wakes the
+    waiters registered at that moment.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "_subscribers", "last_value",
+                 "fire_count")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[SimProcess] = []
+        self._subscribers: list[Callable[[Any], None]] = []
+        self.last_value: Any = None
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every currently-waiting process with ``value`` and call
+        the persistent subscribers (synchronously, in firing order)."""
+        self.last_value = value
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.schedule(0.0, proc._resume, value)
+        for fn in list(self._subscribers):
+            fn(value)
+
+    def subscribe(self, fn: Callable[[Any], None]) -> None:
+        """Register a persistent callback run synchronously on every
+        fire (observers like ledgers; processes should ``yield`` the
+        signal instead)."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[Any], None]) -> None:
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def _add_waiter(self, proc: "SimProcess") -> None:
+        self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "SimProcess") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class SimProcess:
+    """A generator driven by the kernel.
+
+    The generator may yield:
+
+    * ``float``/``int`` -- sleep that many simulated seconds;
+    * :class:`Signal` -- sleep until the signal fires (the yield
+      evaluates to the fired value);
+    * ``None`` -- yield the floor (resume in the same timestep, after
+      currently queued events).
+
+    When the generator returns, :attr:`done` becomes true,
+    :attr:`result` holds the return value, and :attr:`finished` (a
+    Signal) fires with that value.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done", "result", "finished",
+                 "_pending_event", "_waiting_signal", "_interrupted")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.done = False
+        self.result: Any = None
+        self.finished = Signal(sim, f"{self.name}.finished")
+        self._pending_event: Optional[Event] = None
+        self._waiting_signal: Optional[Signal] = None
+        self._interrupted = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _start(self) -> None:
+        self._pending_event = self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        self._pending_event = None
+        self._waiting_signal = None
+        try:
+            if self._interrupted:
+                self._interrupted = False
+                target = self.gen.throw(Interrupt(value))
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # The process chose not to handle its interrupt: treat as exit.
+            self._finish(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self._pending_event = self.sim.schedule(0.0, self._resume, None)
+        elif isinstance(target, Signal):
+            self._waiting_signal = target
+            target._add_waiter(self)
+        elif isinstance(target, (int, float)):
+            if target < 0 or math.isnan(target):
+                raise ValueError(
+                    f"process {self.name!r} yielded invalid delay {target!r}")
+            self._pending_event = self.sim.schedule(float(target),
+                                                    self._resume, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported {target!r}")
+
+    def _finish(self, value: Any) -> None:
+        self.done = True
+        self.result = value
+        self.finished.fire(value)
+
+    # -- external control ------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.done:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_signal is not None:
+            self._waiting_signal._discard_waiter(self)
+            self._waiting_signal = None
+        self._interrupted = True
+        self.sim.schedule(0.0, self._resume, cause)
+
+    def stop(self) -> None:
+        """Terminate the process without running any more of its body."""
+        if self.done:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+        if self._waiting_signal is not None:
+            self._waiting_signal._discard_waiter(self)
+        self.gen.close()
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimProcess {self.name!r} done={self.done}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Time is a float number of seconds since the simulation epoch
+    (defined by :mod:`repro.sim.calendar` as a Monday, 00:00).  The loop
+    never moves time backwards; scheduling in the past raises.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0 or math.isnan(delay):
+            raise ValueError(f"negative or NaN delay: {delay!r}")
+        ev = Event(self.now + delay, priority, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before now={self.now}")
+        ev = Event(float(time), priority, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def spawn(self, gen: Generator, name: str = "") -> SimProcess:
+        """Attach a generator process; it starts at the current time."""
+        proc = SimProcess(self, gen, name)
+        proc._start()
+        return proc
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False when the heap is empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev._alive:
+                continue
+            if ev.time < self.now:  # pragma: no cover - invariant guard
+                raise RuntimeError("event scheduled in the past")
+            self.now = ev.time
+            ev._fired = True
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        With ``until`` set, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run``
+        calls tile time cleanly.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run is not reentrant")
+        self._running = True
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        try:
+            while heap and budget > 0:
+                ev = heap[0]
+                if not ev._alive:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(heap)
+                self.now = ev.time
+                ev._fired = True
+                self.events_processed += 1
+                budget -= 1
+                ev.fn(*ev.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = float(until)
+
+    def peek(self) -> float:
+        """Time of the next live event, or ``inf`` if none is queued."""
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+        return heap[0].time if heap else math.inf
+
+    def pending(self) -> int:
+        """Number of live events still queued (O(n); for tests/debug)."""
+        return sum(1 for ev in self._heap if ev.alive)
+
+    # -- conveniences ----------------------------------------------------
+
+    def every(self, period: float, fn: Callable[..., Any], *args: Any,
+              offset: float = 0.0, jitter_rng=None,
+              jitter: float = 0.0) -> Event:
+        """Run ``fn`` periodically, starting at ``now + offset``.
+
+        Returns the first :class:`Event`; cancel the returned handle's
+        chain via the callable's ``.cancel()`` on the *controller*
+        object stashed on the function: use :class:`Periodic` instead
+        when cancellation is needed.
+        """
+        controller = Periodic(self, period, fn, args, jitter_rng, jitter)
+        controller.start(offset)
+        return controller  # type: ignore[return-value]
+
+    def process_all(self, gens: Iterable[Generator]) -> list[SimProcess]:
+        """Spawn a batch of generator processes."""
+        return [self.spawn(g) for g in gens]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now:.3f} queued={len(self._heap)}>"
+
+
+class Periodic:
+    """A cancellable periodic callback (the engine behind crond ticks)."""
+
+    __slots__ = ("sim", "period", "fn", "args", "jitter_rng", "jitter",
+                 "_event", "cancelled", "fire_count")
+
+    def __init__(self, sim: Simulator, period: float, fn: Callable[..., Any],
+                 args: tuple, jitter_rng=None, jitter: float = 0.0):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.sim = sim
+        self.period = float(period)
+        self.fn = fn
+        self.args = args
+        self.jitter_rng = jitter_rng
+        self.jitter = float(jitter)
+        self._event: Optional[Event] = None
+        self.cancelled = False
+        self.fire_count = 0
+
+    def start(self, offset: float = 0.0) -> "Periodic":
+        self._event = self.sim.schedule(offset, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        self.fire_count += 1
+        self.fn(*self.args)
+        delay = self.period
+        if self.jitter and self.jitter_rng is not None:
+            delay += float(self.jitter_rng.uniform(0.0, self.jitter))
+        self._event = self.sim.schedule(delay, self._tick)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

@@ -1,0 +1,74 @@
+"""Property-based tests for cron-grid and calendar arithmetic."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import calendar as cal
+
+times = st.floats(min_value=0.0, max_value=cal.YEAR,
+                  allow_nan=False, allow_infinity=False)
+periods = st.floats(min_value=1.0, max_value=cal.DAY, allow_nan=False)
+offsets = st.floats(min_value=0.0, max_value=cal.HOUR, allow_nan=False)
+
+
+@given(times, periods, offsets)
+@settings(max_examples=300, deadline=None)
+def test_next_grid_is_a_future_grid_point(t, period, offset):
+    g = cal.next_grid(t, period, offset)
+    assert g > t
+    # it lies on the grid (within float tolerance)
+    k = (g - offset) / period
+    assert abs(k - round(k)) < 1e-6
+    # and is within one period of t
+    assert g - t <= period * (1 + 1e-9)
+
+
+@given(times, periods, offsets)
+@settings(max_examples=300, deadline=None)
+def test_prev_grid_le_t_lt_next(t, period, offset):
+    p = cal.prev_grid(t, period, offset)
+    n = cal.next_grid(t, period, offset)
+    assert p <= t < n
+    assert abs((n - p) - period) < 1e-6 or p == n - period
+
+
+@given(times, periods)
+@settings(max_examples=200, deadline=None)
+def test_nonstrict_grid_point_is_fixed_point(t, period):
+    g = cal.next_grid(t, period)
+    # a grid point maps to itself when strict=False
+    assert cal.next_grid(g, period, strict=False) == g
+
+
+@given(times)
+@settings(max_examples=300, deadline=None)
+def test_period_classification_is_a_partition(t):
+    flags = [bool(cal.is_business_hours(t)), bool(cal.is_overnight(t)),
+             bool(cal.is_weekend(t))]
+    assert sum(flags) == 1
+    assert cal.period_of(t) in ("day", "overnight", "weekend")
+
+
+@given(st.floats(min_value=0.0, max_value=cal.YEAR - cal.DAY,
+                 allow_nan=False),
+       st.floats(min_value=1.0, max_value=cal.DAY, allow_nan=False),
+       periods)
+@settings(max_examples=200, deadline=None)
+def test_grid_points_all_in_range_and_spaced(t0, span, period):
+    t1 = t0 + span
+    pts = cal.grid_points(t0, t1, period)
+    assert all(t0 < p <= t1 + 1e-6 for p in pts)
+    if len(pts) > 1:
+        import numpy as np
+        assert np.allclose(np.diff(pts), period)
+
+
+@given(times)
+@settings(max_examples=200, deadline=None)
+def test_week_arithmetic_consistency(t):
+    dow = cal.day_of_week(t)
+    assert 0 <= dow <= 6
+    assert bool(cal.is_weekend(t)) == (dow >= 5)
+    assert 0.0 <= cal.time_of_day(t) < cal.DAY

@@ -1,0 +1,98 @@
+"""Property-based tests for the DES kernel."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+delays = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(delays, min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+    assert sim.now == max(ds)
+
+
+@given(st.lists(delays, min_size=1, max_size=40),
+       st.lists(delays, min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_run_until_tiles_time(ds, cuts):
+    """Running to a sequence of increasing horizons fires exactly the
+    events a single run would have fired."""
+    horizon = max(max(ds), max(cuts))
+    sim_a = Simulator()
+    fired_a = []
+    for d in ds:
+        sim_a.schedule(d, fired_a.append, d)
+    sim_a.run(until=horizon)
+
+    sim_b = Simulator()
+    fired_b = []
+    for d in ds:
+        sim_b.schedule(d, fired_b.append, d)
+    for cut in sorted(cuts):
+        sim_b.run(until=cut)
+        assert sim_b.now == cut
+    sim_b.run(until=horizon)
+    assert fired_a == fired_b
+
+
+@given(st.lists(delays, min_size=2, max_size=40),
+       st.data())
+@settings(max_examples=100, deadline=None)
+def test_cancellation_removes_exactly_the_cancelled(ds, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, fired.append, i)
+              for i, d in enumerate(ds)]
+    doomed = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(ds) - 1), max_size=len(ds)))
+    for i in doomed:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(ds))) - doomed
+
+
+@given(st.lists(delays, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_generator_sleep_sums(ds):
+    """A process sleeping d1, d2, ... wakes at the prefix sums."""
+    sim = Simulator()
+    wakes = []
+
+    def proc():
+        for d in ds:
+            yield d
+            wakes.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    prefix = []
+    total = 0.0
+    for d in ds:
+        total += d
+        prefix.append(total)
+    assert wakes == prefix
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.floats(min_value=0.1, max_value=1e4, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_periodic_fire_count(n, period):
+    sim = Simulator()
+    ticks = []
+    sim.every(period, lambda: ticks.append(sim.now))
+    sim.run(until=n * period + period / 2)
+    # fires at 0, p, 2p, ..., np
+    assert len(ticks) == n + 1

@@ -1,0 +1,67 @@
+"""Property-based round-trip tests for the flat-ASCII ontology codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.base import OntologyDoc, decode_list, encode_list
+
+# keys: shell-friendly identifiers
+keys = st.from_regex(r"[a-z][a-z0-9_]{0,15}", fullmatch=True).filter(
+    lambda k: k != "record")
+# values: printable single-line ASCII without leading '#' ambiguity
+values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=40)
+record_types = st.from_regex(r"[a-z][a-z0-9_-]{0,10}", fullmatch=True)
+
+
+@st.composite
+def documents(draw):
+    doc = OntologyDoc(draw(st.sampled_from(["ISSL", "SLKT", "DLSP",
+                                            "DGSPL"])),
+                      draw(st.floats(min_value=0, max_value=1e9,
+                                     allow_nan=False)))
+    for _ in range(draw(st.integers(0, 6))):
+        fields = draw(st.dictionaries(keys, values, max_size=6))
+        doc.add(draw(record_types), **fields)
+    return doc
+
+
+@given(documents())
+@settings(max_examples=200, deadline=None)
+def test_parse_render_roundtrip(doc):
+    again = OntologyDoc.parse(doc.render())
+    assert again.kind == doc.kind
+    assert again.generated_at == doc.generated_at
+    assert again.records == doc.records
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_render_is_stable(doc):
+    """render(parse(render(x))) == render(x)."""
+    once = doc.render()
+    twice = OntologyDoc.parse(once).render()
+    assert once == twice
+
+
+@given(st.lists(st.from_regex(r"[a-zA-Z0-9_./:-]{1,20}",
+                              fullmatch=True), max_size=10))
+@settings(max_examples=200, deadline=None)
+def test_list_codec_roundtrip(items):
+    assert decode_list(encode_list(items)) == items
+
+
+def test_list_codec_rejects_unrepresentable():
+    import pytest
+    from repro.ontology.base import OntologyError
+    for bad in ([""], ["a,b"], ["a\nb"]):
+        with pytest.raises(OntologyError):
+            encode_list(bad)
+
+
+@given(documents())
+@settings(max_examples=50, deadline=None)
+def test_rendered_lines_are_single_line_ascii(doc):
+    for line in doc.render():
+        assert "\n" not in line and "\r" not in line

@@ -1,0 +1,83 @@
+"""Unit tests for orchestrated service startup."""
+
+import pytest
+
+from repro.apps.distributed import DistributedService
+
+
+@pytest.fixture
+def cold_service(dc, database, webserver, frontend, sim):
+    """The analytics stack, fully stopped."""
+    svc = DistributedService(dc, "analytics")
+    svc.add_component("db", database, [])
+    svc.add_component("web", webserver, ["db"])
+    svc.add_component("gui", frontend, ["web", "db"])
+    for app in (frontend, webserver, database):
+        app.stop()
+    return svc
+
+
+def test_orchestrated_start_brings_everything_up(cold_service, sim):
+    proc = cold_service.orchestrated_start(sim)
+    sim.run(until=sim.now + 1200.0)
+    assert proc.done
+    ok, started, err = proc.result
+    assert ok, err
+    assert started == cold_service.startup_order()
+    assert cold_service.healthy()
+
+
+def test_components_start_in_dependency_order(cold_service, sim,
+                                              database, webserver,
+                                              frontend):
+    starts = {}
+
+    def track(app, name):
+        orig = app.start
+
+        def wrapped():
+            starts.setdefault(name, sim.now)
+            orig()
+
+        app.start = wrapped
+
+    track(database, "db")
+    track(webserver, "web")
+    track(frontend, "gui")
+    cold_service.orchestrated_start(sim)
+    sim.run(until=sim.now + 1200.0)
+    assert starts["db"] < starts["web"] < starts["gui"]
+    # web waits for the db's full startup sequence, not just its start
+    assert starts["web"] >= starts["db"] + database.startup_duration()
+
+
+def test_orchestrated_start_times_out_on_stuck_component(cold_service,
+                                                         sim, database):
+    database.config_ok = False      # db will die right after starting
+    proc = cold_service.orchestrated_start(
+        sim, per_component_timeout=400.0)
+    sim.run(until=sim.now + 2000.0)
+    ok, started, err = proc.result
+    assert not ok
+    assert "db" in err
+    assert started == []
+
+
+def test_orchestrated_start_fails_fast_on_dead_host(cold_service, sim,
+                                                    database):
+    database.host.crash("x")
+    proc = cold_service.orchestrated_start(sim)
+    sim.run(until=sim.now + 100.0)
+    ok, _, err = proc.result
+    assert not ok and "host" in err
+
+
+def test_orchestrated_start_skips_already_healthy(cold_service, sim,
+                                                  database):
+    database.start()
+    sim.run(until=sim.now + database.startup_duration() + 5)
+    restarts_before = database.restart_count
+    proc = cold_service.orchestrated_start(sim)
+    sim.run(until=sim.now + 1200.0)
+    assert proc.result[0]
+    assert database.restart_count == restarts_before

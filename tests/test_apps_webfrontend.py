@@ -1,0 +1,73 @@
+"""Unit tests for web servers and front-end applications."""
+
+from repro.apps.frontend import FrontendApp
+
+
+def test_http_get_200(webserver):
+    status, ms = webserver.http_get("/")
+    assert status == 200 and ms > 0
+    assert webserver.requests_served == 1
+
+
+def test_http_get_no_answer_when_crashed(webserver):
+    webserver.crash("x")
+    status, _ = webserver.http_get("/")
+    assert status == 0
+
+
+def test_http_get_times_out_when_hung(webserver):
+    webserver.hang()
+    status, ms = webserver.http_get("/")
+    assert status == 0 and ms > 0
+
+
+def test_connection_tracking(webserver):
+    assert webserver.open_connection("client-a")
+    assert len(webserver.open_connections) == 1
+    webserver.close_connection("client-a")
+    assert webserver.open_connections == {}
+    webserver.crash("x")
+    assert not webserver.open_connection("client-b")
+
+
+def test_frontend_login_logout(frontend):
+    assert frontend.login("analyst1")
+    assert frontend.sessions == 1
+    assert "analyst1" in frontend.host.logged_in_users
+    frontend.logout("analyst1")
+    assert frontend.sessions == 0
+    assert "analyst1" not in frontend.host.logged_in_users
+
+
+def test_frontend_query_roundtrips_to_backend(frontend, database):
+    ok, ms, err = frontend.run_query()
+    assert ok and err == ""
+    # the query cost includes the backend's time
+    fe_only = frontend.probe()[1]
+    assert ms > fe_only
+    assert frontend.queries_served == 1
+
+
+def test_frontend_query_fails_when_backend_dead(frontend, database):
+    database.crash("x")
+    ok, _, err = frontend.run_query()
+    assert not ok and err.startswith("backend")
+    assert frontend.is_healthy()    # the GUI itself is fine
+
+
+def test_frontend_query_fails_when_frontend_dead(frontend):
+    frontend.crash("x")
+    ok, _, err = frontend.run_query()
+    assert not ok and err.startswith("frontend")
+
+
+def test_frontend_declares_dependency(frontend, database):
+    assert (database.host.name, database.name) in frontend.depends_on
+
+
+def test_standalone_frontend(dc, sim):
+    fe = FrontendApp(dc.host("adm01"), "lonely")
+    fe.start()
+    sim.run(until=sim.now + fe.startup_duration() + 1)
+    ok, _, _ = fe.run_query()
+    assert ok

@@ -1,0 +1,85 @@
+"""Unit tests for crond."""
+
+import pytest
+
+
+def test_job_fires_on_absolute_grid(sim, db_host):
+    ticks = []
+    db_host.crond.register("t", 300.0, lambda: ticks.append(sim.now))
+    sim.run(until=1000.0)
+    assert ticks == [300.0, 600.0, 900.0]
+
+
+def test_offset_shifts_grid(sim, db_host):
+    ticks = []
+    db_host.crond.register("t", 300.0, lambda: ticks.append(sim.now),
+                           offset=50.0)
+    sim.run(until=700.0)
+    assert ticks == [50.0, 350.0, 650.0]
+
+
+def test_register_replaces(sim, db_host):
+    a, b = [], []
+    db_host.crond.register("t", 300.0, lambda: a.append(1))
+    db_host.crond.register("t", 300.0, lambda: b.append(1))
+    sim.run(until=400.0)
+    assert a == [] and b == [1]
+
+
+def test_remove(sim, db_host):
+    ticks = []
+    db_host.crond.register("t", 100.0, lambda: ticks.append(1))
+    sim.run(until=250.0)
+    assert db_host.crond.remove("t")
+    sim.run(until=1000.0)
+    assert len(ticks) == 2
+    assert not db_host.crond.remove("t")
+
+
+def test_disabled_job_misses(sim, db_host):
+    ticks = []
+    job = db_host.crond.register("t", 100.0, lambda: ticks.append(1))
+    db_host.crond.enable("t", False)
+    sim.run(until=350.0)
+    assert ticks == []
+    assert job.missed == 3
+    db_host.crond.enable("t")
+    sim.run(until=450.0)
+    assert ticks == [1]
+
+
+def test_crond_death_and_restart_keeps_grid(sim, db_host):
+    ticks = []
+    db_host.crond.register("t", 300.0, lambda: ticks.append(sim.now))
+    sim.run(until=350.0)
+    db_host.crond.kill()
+    sim.run(until=950.0)
+    assert ticks == [300.0]
+    db_host.crond.restart()
+    sim.run(until=1300.0)
+    # resumes on the original grid, not a shifted one
+    assert ticks == [300.0, 1200.0]
+
+
+def test_host_down_misses_then_resumes(sim, db_host):
+    ticks = []
+    db_host.crond.register("t", 300.0, lambda: ticks.append(sim.now))
+    sim.run(until=350.0)
+    db_host.crash("x")
+    sim.run(until=900.0)
+    db_host.boot()
+    sim.run(until=1600.0)
+    assert ticks[0] == 300.0
+    assert all(t % 300.0 == 0.0 for t in ticks)
+    job = db_host.crond.jobs["t"]
+    assert job.missed >= 1
+
+
+def test_bad_period_rejected(db_host):
+    with pytest.raises(ValueError):
+        db_host.crond.register("t", 0.0, lambda: None)
+
+
+def test_next_fire(sim, db_host):
+    db_host.crond.register("t", 300.0, lambda: None, offset=10.0)
+    assert db_host.crond.next_fire("t") == 10.0

@@ -1,0 +1,68 @@
+"""Unit tests for the flag protocol."""
+
+import pytest
+
+from repro.core.flags import FLAG_DIR, FlagStore
+
+
+@pytest.fixture
+def store(db_host):
+    return FlagStore(db_host.fs, "svc_ora01")
+
+
+def test_raise_and_read(store):
+    store.raise_flag("ok", 100.0)
+    store.raise_flag("fault", 400.0, "oracle down")
+    flags = store.flags()
+    assert [f.status for f in flags] == ["ok", "fault"]
+    assert flags[1].detail == "oracle down"
+    assert store.latest().time == 400.0
+    assert store.latest_time() == 400.0
+
+
+def test_flags_live_in_the_dedicated_directory(store, db_host):
+    store.raise_flag("ok", 100.0)
+    files = db_host.fs.files_in_dir(f"{FLAG_DIR}/svc_ora01")
+    assert files == [f"{FLAG_DIR}/svc_ora01/ok.100.0"]
+
+
+def test_unknown_status_rejected(store):
+    with pytest.raises(ValueError):
+        store.raise_flag("confused", 0.0)
+
+
+def test_latest_time_when_empty(store):
+    assert store.latest_time() == float("-inf")
+    assert store.latest() is None
+
+
+def test_clear_before(store):
+    for t in (10.0, 20.0, 30.0):
+        store.raise_flag("ok", t)
+    assert store.clear_before(25.0) == 2
+    assert [f.time for f in store.flags()] == [30.0]
+
+
+def test_clear_all(store):
+    store.raise_flag("ok", 1.0)
+    store.raise_flag("fixed", 2.0)
+    assert store.clear_all() == 2
+    assert store.flags() == []
+
+
+def test_foreign_files_ignored(store, db_host):
+    db_host.fs.write(f"{FLAG_DIR}/svc_ora01/README", ["not a flag"])
+    store.raise_flag("ok", 5.0)
+    assert len(store.flags()) == 1
+
+
+def test_agents_on_lists_flag_directories(db_host):
+    FlagStore(db_host.fs, "hardware").raise_flag("ok", 1.0)
+    FlagStore(db_host.fs, "osnet").raise_flag("ok", 1.0)
+    assert set(FlagStore.agents_on(db_host.fs)) >= {"hardware", "osnet"}
+
+
+def test_flag_statuses_cover_the_protocol():
+    from repro.core.flags import FLAG_STATUSES
+    assert set(FLAG_STATUSES) == {"ok", "fault", "fixed", "failed",
+                                  "skipped"}

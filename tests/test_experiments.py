@@ -1,0 +1,89 @@
+"""Unit tests for the experiment drivers (scaled down)."""
+
+import pytest
+
+from repro.experiments import fig2, mttr, overhead, report
+from repro.experiments.site import SiteConfig, build_site
+from repro.faults.models import Category
+from repro.sim.calendar import YEAR
+
+
+def test_report_table_renders():
+    txt = report.table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+    lines = txt.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.50" in txt
+
+
+def test_fig2_run_once_pairing():
+    before, after = fig2.run_once(seed=3)
+    assert len(before.records) == len(after.records)
+    assert after.total_hours() < before.total_hours()
+
+
+def test_fig2_replicated_shape():
+    result = fig2.run_replicated([0, 1, 2])
+    assert result.replications == 3
+    assert result.total_before > 5 * result.total_after
+    # mid-crash dominates the before column (the paper's headline)
+    assert result.before_hours[Category.MID_CRASH] == max(
+        result.before_hours.values())
+    rows = result.rows()
+    assert rows[-1][0] == "TOTAL"
+    txt = fig2.format_result(result)
+    assert "Figure 2" in txt and "mid-crash" in txt
+
+
+def test_fig2_requires_seeds():
+    with pytest.raises(ValueError):
+        fig2.run_replicated([])
+
+
+def test_fig2_parallel_matches_serial():
+    serial = fig2.run_replicated([5, 6])
+    par = fig2.run_replicated([5, 6], parallel=True)
+    assert par.before_hours == serial.before_hours
+    assert par.after_hours == serial.after_hours
+
+
+def test_fig2_detection_summary():
+    result = fig2.run_replicated([0, 1])
+    assert result.detection_before["weekend"] > result.detection_before["day"]
+    assert result.detection_after["day"] < 0.2       # hours
+
+
+def test_overhead_shape():
+    r = overhead.run(seed=4)
+    assert len(r.bmc_cpu) == overhead.N_SAMPLES
+    # agents are an order of magnitude cheaper on both axes
+    assert r.mean_ratio_cpu() > 4.0
+    assert r.mean_ratio_mem() > 10.0
+    # agents' footprint is flat
+    assert max(r.agent_mem) == min(r.agent_mem)
+    assert "Figure 3" in overhead.format_cpu(r)
+    assert "Figure 4" in overhead.format_memory(r)
+
+
+def test_mttr_claims():
+    r = mttr.run(seed=2, samples_per_category=150)
+    # the 2 h restart and ~4 h escalation claims, loosely
+    assert 1.0 < r.manual_median_repair_h < 5.0
+    assert 3.0 < r.manual_escalated_mean_h < 9.0
+    assert r.agent_mean_repair_h < r.manual_median_repair_h
+    assert "MTTR" in mttr.format_result(r)
+
+
+def test_site_scales_to_paper_size_cheaply():
+    """The full 215-server site must at least build quickly."""
+    site = build_site(SiteConfig(db_servers=20, tp_servers=10,
+                                 fe_servers=12, with_workload=False,
+                                 with_feeds=False))
+    assert len(site.dc.hosts) == 20 + 10 + 12 + 3
+    assert len(site.databases) == 20
+    # every server including the admin pair is agented; only the
+    # external gateway is unmanaged
+    assert len(site.suites) == 44
+    # every non-admin host has the agent complement
+    for suite in site.suites.values():
+        assert len(suite.agents) >= 5

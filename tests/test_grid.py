@@ -1,0 +1,126 @@
+"""Unit tests for the grid resource broker (§5 future work)."""
+
+import pytest
+
+from repro.grid import GridResourceBroker, parse_advertisement
+from repro.ontology.dlsp import build_dlsp
+from repro.ontology.dgspl import build_dgspl
+
+
+@pytest.fixture
+def broker(sim, database, webserver):
+    b = GridResourceBroker(sim, default_lease=600.0)
+    dgspl = build_dgspl([build_dlsp(database.host),
+                         build_dlsp(webserver.host)])
+    b.refresh_from_dgspl(dgspl)
+    return b
+
+
+def test_parse_advertisement_roundtrip(database):
+    dgspl = build_dgspl([build_dlsp(database.host)])
+    line = dgspl.grid_advertisement()[0]
+    r = parse_advertisement(line)
+    assert r.server == "db01"
+    assert r.app_type == "database"
+    assert r.cpus == database.host.effective_cpus()
+    assert r.uri.startswith("service://london/db01/")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_advertisement("http://not-a-service")
+    with pytest.raises(ValueError):
+        parse_advertisement("service://too/few type=x")
+
+
+def test_discovery_filters(broker):
+    assert len(broker.discover()) == 2
+    dbs = broker.discover(app_type="database")
+    assert len(dbs) == 1 and dbs[0].app_type == "database"
+    assert broker.discover(os="aix", app_type="database") == []
+    assert broker.discover(min_cpus=1000) == []
+    assert len(broker.discover(os="solaris", app_type="database")) == 1
+
+
+def test_discovery_orders_least_loaded_first(sim, broker, database,
+                                             webserver):
+    database.host.extra_runnable = database.host.effective_cpus() * 5
+    dgspl = build_dgspl([build_dlsp(database.host),
+                         build_dlsp(webserver.host)])
+    broker.refresh_from_dgspl(dgspl)
+    found = broker.discover()
+    assert found[0].server == "fe01"
+
+
+def test_claim_lifecycle(broker, sim):
+    uri = broker.discover(app_type="database")[0].uri
+    claim = broker.claim(uri, "grid-job-1")
+    assert claim is not None and claim.live(sim.now)
+    # double-claim refused
+    assert broker.claim(uri, "grid-job-2") is None
+    # claimed resources hidden from discovery by default
+    assert broker.discover(app_type="database") == []
+    assert len(broker.discover(app_type="database",
+                               include_claimed=True)) == 1
+    # wrong holder cannot release
+    assert not broker.release(uri, "grid-job-2")
+    assert broker.release(uri, "grid-job-1")
+    assert broker.claim(uri, "grid-job-2") is not None
+
+
+def test_claim_expiry_and_renew(broker, sim):
+    uri = broker.discover(app_type="database")[0].uri
+    broker.claim(uri, "g1", lease=100.0)
+    sim.run(until=sim.now + 50.0)
+    assert broker.renew(uri, "g1", lease=100.0)
+    sim.run(until=sim.now + 99.0)
+    assert uri not in [r.uri for r in broker.discover(
+        app_type="database")]      # still claimed
+    sim.run(until=sim.now + 2.0)
+    # expired: discoverable and claimable again
+    assert broker.claim(uri, "g2") is not None
+
+
+def test_refresh_drops_dead_services(broker, database, webserver):
+    database.crash("x")
+    dgspl = build_dgspl([build_dlsp(database.host),
+                         build_dlsp(webserver.host)])
+    broker.refresh_from_dgspl(dgspl)
+    assert broker.discover(app_type="database") == []
+    assert len(broker.discover()) == 1
+
+
+def test_claims_survive_refresh_until_expiry(broker, database, webserver,
+                                             sim):
+    uri = broker.discover(app_type="database")[0].uri
+    broker.claim(uri, "g1")
+    database.crash("x")
+    broker.refresh_from_dgspl(build_dgspl([build_dlsp(database.host),
+                                           build_dlsp(webserver.host)]))
+    # resource gone from inventory, claim still tracked
+    assert uri in broker.claims
+
+
+def test_claim_unknown_uri_refused(broker):
+    assert broker.claim("service://nowhere/x/y", "g") is None
+    assert broker.stats()["refused"] == 1
+
+
+def test_stats(broker):
+    broker.discover()
+    s = broker.stats()
+    assert s["resources"] == 2
+    assert s["refreshes"] == 1
+    assert s["queries"] >= 1
+
+
+def test_end_to_end_with_admin_servers(test_site):
+    """The broker rides the real DGSPL the admin pair generates."""
+    site = test_site
+    site.run(1200.0)
+    broker = GridResourceBroker(site.sim)
+    broker.refresh_from_dgspl(site.admin.current_dgspl())
+    found = broker.discover(app_type="database", os="solaris")
+    assert len(found) >= 1
+    claim = broker.claim(found[0].uri, "external-grid-job")
+    assert claim is not None

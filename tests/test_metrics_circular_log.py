@@ -1,0 +1,56 @@
+"""Unit tests for circular logs."""
+
+import pytest
+
+from repro.cluster.filesystem import FileSystem
+from repro.metrics.circular_log import CircularLog
+
+
+@pytest.fixture
+def fs():
+    return FileSystem()
+
+
+def test_append_and_read(fs):
+    log = CircularLog(fs, "/logs/x", maxlen=10)
+    log.append("a", now=1.0)
+    log.append("b", now=2.0)
+    assert log.lines() == ["a", "b"]
+    assert log.last(1) == ["b"]
+    assert len(log) == 2
+
+
+def test_circular_eviction(fs):
+    log = CircularLog(fs, "/logs/x", maxlen=3)
+    for i in range(7):
+        log.append(f"l{i}")
+    assert log.lines() == ["l4", "l5", "l6"]
+    assert len(log) == 3
+
+
+def test_eviction_keeps_disk_accounting_consistent(fs):
+    log = CircularLog(fs, "/logs/x", maxlen=5)
+    for i in range(100):
+        log.append(f"line-{i:04d}")
+    mount = fs.mounts["/logs"]
+    # the file is bounded, so usage must be small
+    assert mount.used_bytes < 200
+
+
+def test_bad_maxlen():
+    with pytest.raises(ValueError):
+        CircularLog(FileSystem(), "/logs/x", maxlen=0)
+
+
+def test_clear(fs):
+    log = CircularLog(fs, "/logs/x", maxlen=5)
+    log.append("a")
+    log.clear()
+    assert log.lines() == []
+
+
+def test_existing_file_adopted(fs):
+    fs.write("/logs/x", ["old1", "old2"])
+    log = CircularLog(fs, "/logs/x", maxlen=5)
+    log.append("new")
+    assert log.lines() == ["old1", "old2", "new"]

@@ -1,0 +1,89 @@
+"""Unit tests for microstate accounting and process pivots."""
+
+import pytest
+
+from repro.metrics.accounting import ProcessAccountant
+from repro.metrics.microstate import MicrostateAccountant
+
+
+def test_snapshot_covers_all_processes(sim, db_host):
+    db_host.ptable.spawn("u", "worker", cpu_pct=80.0)
+    acct = MicrostateAccountant(db_host)
+    snaps = acct.snapshot()
+    assert len(snaps) == len(db_host.ptable)
+
+
+def test_busy_accumulates_over_time(sim, db_host):
+    p = db_host.ptable.spawn("u", "worker", cpu_pct=100.0)
+    acct = MicrostateAccountant(db_host)
+    acct.snapshot()
+    sim.run(until=sim.now + 100.0)
+    snaps = acct.snapshot()
+    mine = [s for s in snaps if s.pid == p.pid][0]
+    assert mine.busy == pytest.approx(100.0)
+
+
+def test_delta_rates(sim, db_host):
+    p = db_host.ptable.spawn("u", "worker", cpu_pct=50.0)
+    acct = MicrostateAccountant(db_host)
+    acct.snapshot()
+    sim.run(until=sim.now + 100.0)
+    acct.snapshot()
+    d = acct.delta(p.pid)
+    assert d is not None
+    assert d["usr_frac"] + d["sys_frac"] == pytest.approx(0.5)
+    assert acct.delta(999999) is None
+
+
+def test_busiest_ranks_by_cumulative_cpu(sim, db_host):
+    db_host.ptable.spawn("u", "hot", cpu_pct=90.0)
+    db_host.ptable.spawn("u", "cold", cpu_pct=1.0)
+    acct = MicrostateAccountant(db_host)
+    acct.snapshot()
+    sim.run(until=sim.now + 50.0)
+    acct.snapshot()
+    top = acct.busiest(1)
+    assert top[0].command == "hot"
+
+
+def test_format_line():
+    from repro.metrics.microstate import MicrostateSnapshot
+    s = MicrostateSnapshot(1.0, 42, "cmd", "u", 1.0, 0.5, 0.1, 2.0)
+    assert "pid=42" in s.format()
+
+
+def test_pivot_per_user(db_host):
+    db_host.ptable.spawn("alice", "sas", cpu_pct=30.0, mem_mb=10.0)
+    db_host.ptable.spawn("alice", "sas", cpu_pct=20.0, mem_mb=10.0)
+    rows = ProcessAccountant(db_host).per_user()
+    alice = next(r for r in rows if r.key == "alice")
+    assert alice.nproc == 2 and alice.cpu_pct == 50.0
+
+
+def test_pivot_per_command_and_args(db_host):
+    db_host.ptable.spawn("u", "sas", args="-big", cpu_pct=5.0)
+    db_host.ptable.spawn("u", "sas", args="-small", cpu_pct=5.0)
+    per_cmd = ProcessAccountant(db_host).per_command()
+    assert next(r for r in per_cmd if r.key == "sas").nproc == 2
+    per_args = ProcessAccountant(db_host).per_command_args()
+    assert any(r.key == "sas -big" for r in per_args)
+
+
+def test_pivot_per_user_command(db_host):
+    db_host.ptable.spawn("bob", "vi", cpu_pct=1.0)
+    rows = ProcessAccountant(db_host).per_user_command()
+    assert any(r.key == "bob:vi" for r in rows)
+
+
+def test_per_cpu_distributes_runnables(db_host):
+    for _ in range(8):
+        db_host.ptable.spawn("u", "spin", cpu_pct=10.0)
+    rows = ProcessAccountant(db_host).per_cpu()
+    assert len(rows) == db_host.effective_cpus()
+    assert sum(r.nproc for r in rows) == len(db_host.ptable)
+
+
+def test_heaviest_user(db_host):
+    db_host.ptable.spawn("greedy", "miner", cpu_pct=95.0)
+    user, cpu = ProcessAccountant(db_host).heaviest_user()
+    assert user == "greedy" and cpu == 95.0

@@ -1,0 +1,87 @@
+"""Unit tests for the workgroup samplers."""
+
+import pytest
+
+from repro.metrics.samplers import Sample, SamplerSuite, WORKGROUPS
+
+
+@pytest.fixture
+def suite(database):
+    return SamplerSuite(database.host)
+
+
+def test_five_workgroups(suite):
+    assert set(WORKGROUPS) == {"os", "network", "disks", "app_procs",
+                               "user_procs"}
+    samples = suite.sample_all()
+    assert [s.group for s in samples] == list(WORKGROUPS)
+
+
+def test_os_sample_carries_the_336_metrics(suite):
+    s = suite.sample_os()
+    for key in ("run_queue", "scan_rate", "page_out", "page_faults",
+                "free_mb", "cpu_idle", "blocked"):
+        assert key in s.metrics
+
+
+def test_samples_logged_to_circular_ascii_files(suite, database):
+    suite.sample_all()
+    host = database.host
+    # "classified first by server name and then by measurement group"
+    path = f"/logs/perf/{host.name}/os"
+    lines = host.fs.read(path)
+    assert len(lines) == 1
+    parsed = Sample.parse("os", lines[0])
+    assert parsed.metrics["run_queue"] >= 0
+
+
+def test_series_accumulate(suite, sim):
+    suite.sample_all()
+    sim.run(until=sim.now + 600)
+    suite.sample_all()
+    ts = suite.get_series("os", "cpu_idle")
+    assert len(ts) == 2
+    assert suite.get_series("os", "nonexistent") is None
+
+
+def test_disk_sample_reports_service_times(suite, database):
+    database.host.add_io_demand(database.host.online_disks() * 0.9)
+    s = suite.sample_disks()
+    assert s.metrics["worst_asvc_t"] > 8.0
+    assert s.metrics["sd0_busy"] > 80.0
+    assert "fs_logs_pct" in s.metrics
+
+
+def test_app_procs_sample(suite, database):
+    s = suite.sample_app_procs()
+    assert s.metrics[f"{database.name}_nproc"] == len(database.procs)
+    assert s.metrics[f"{database.name}_mem_mb"] > 0
+
+
+def test_user_procs_excludes_system_users(suite, database):
+    host = database.host
+    host.ptable.spawn("analyst1", "sas", cpu_pct=50.0, mem_mb=100.0)
+    s = suite.sample_user_procs()
+    assert s.metrics["analyst1_cpu"] == 50.0
+    assert "root_cpu" not in s.metrics
+    assert s.metrics["worst_user_cpu"] == 50.0
+
+
+def test_network_sample_counts_nic_stats(suite, dc, database):
+    lan = dc.lan("public0")
+    lan.send(dc.host("db01"), dc.host("adm01"), 14600)
+    s = suite.sample_network()
+    assert s.metrics["hme0_opkts"] == 10
+    assert "nfs_calls" in s.metrics
+
+
+def test_sampling_down_host_yields_nothing(suite, database):
+    database.host.crash("x")
+    assert suite.sample_all() == []
+
+
+def test_sample_format_roundtrip():
+    s = Sample(12.5, "os", {"a": 1.25, "b": -3.0})
+    parsed = Sample.parse("os", s.format())
+    assert parsed.time == 12.5
+    assert parsed.metrics == {"a": 1.25, "b": -3.0}

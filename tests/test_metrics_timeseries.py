@@ -1,0 +1,91 @@
+"""Unit tests for time series handling."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import TimeSeries, merge_by_timestamp
+
+
+def _ts(name, pairs):
+    ts = TimeSeries(name)
+    for t, v in pairs:
+        ts.append(t, v)
+    return ts
+
+
+def test_append_and_stats():
+    ts = _ts("x", [(0, 1.0), (10, 3.0), (20, 5.0)])
+    assert len(ts) == 3
+    assert ts.mean() == 3.0
+    assert ts.max() == 5.0
+    assert ts.min() == 1.0
+    assert ts.percentile(50) == 3.0
+
+
+def test_timestamps_must_be_monotone():
+    ts = _ts("x", [(0, 1.0), (10, 2.0)])
+    with pytest.raises(ValueError):
+        ts.append(5.0, 3.0)
+
+
+def test_empty_series_stats():
+    ts = TimeSeries("empty")
+    assert ts.mean() == 0.0 and ts.max() == 0.0
+
+
+def test_window():
+    ts = _ts("x", [(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)])
+    w = ts.window(10, 30)
+    assert w.values.tolist() == [2.0, 3.0]
+
+
+def test_resample_means_per_bucket():
+    ts = _ts("x", [(0, 1.0), (5, 3.0), (10, 10.0), (25, 20.0)])
+    starts, means = ts.resample(10.0)
+    assert starts.tolist() == [0.0, 10.0, 20.0]
+    assert means.tolist() == [2.0, 10.0, 20.0]
+
+
+def test_breaches():
+    ts = _ts("x", [(0, 1.0), (10, 9.0), (20, 2.0), (30, 11.0)])
+    assert ts.breaches(8.0).tolist() == [10.0, 30.0]
+    assert ts.breaches(2.0, above=False).tolist() == [0.0]
+
+
+def test_merge_exact_timestamps():
+    a = _ts("a", [(0, 1.0), (10, 2.0), (20, 3.0)])
+    b = _ts("b", [(0, 10.0), (10, 20.0), (20, 30.0)])
+    merged = merge_by_timestamp([a, b])
+    assert merged["t"].tolist() == [0.0, 10.0, 20.0]
+    assert merged["b"].tolist() == [10.0, 20.0, 30.0]
+
+
+def test_merge_with_tolerance():
+    a = _ts("a", [(0, 1.0), (10, 2.0)])
+    b = _ts("b", [(0.4, 10.0), (30, 99.0)])
+    merged = merge_by_timestamp([a, b], tolerance=0.5)
+    assert merged["t"].tolist() == [0.0]
+    assert merged["b"].tolist() == [10.0]
+
+
+def test_merge_drops_unmatched():
+    a = _ts("a", [(0, 1.0), (10, 2.0)])
+    b = _ts("b", [(10, 20.0)])
+    merged = merge_by_timestamp([a, b], tolerance=0.0)
+    assert merged["t"].tolist() == [10.0]
+
+
+def test_merge_empty_partner():
+    a = _ts("a", [(0, 1.0)])
+    b = TimeSeries("b")
+    merged = merge_by_timestamp([a, b])
+    assert merged["t"].size == 0
+
+
+def test_merge_three_series():
+    a = _ts("a", [(0, 1.0), (10, 2.0), (20, 3.0)])
+    b = _ts("b", [(0, 4.0), (20, 5.0)])
+    c = _ts("c", [(0, 6.0), (10, 7.0), (20, 8.0)])
+    merged = merge_by_timestamp([a, b, c])
+    assert merged["t"].tolist() == [0.0, 20.0]
+    assert merged["c"].tolist() == [6.0, 8.0]

@@ -1,0 +1,105 @@
+"""Unit tests for automatic ontology generation (§5 future work)."""
+
+import pytest
+
+from repro.ontology.autogen import (SlktDriftDetector, generate_issl,
+                                    ProposedUpdate)
+from repro.ontology.slkt import build_slkt
+
+
+def test_generate_issl_from_datacenter(dc, database, webserver):
+    lists = generate_issl(dc)
+    assert len(lists) == 1
+    issl = lists[0]
+    assert set(issl.names()) == {"db01", "fe01", "adm01", "adm02"}
+    assert "ora01" in issl.get("db01").services
+    assert issl.get("db01").ip != "0.0.0.0"
+
+
+def test_generate_issl_prefers_lan(dc, database):
+    issl = generate_issl(dc, prefer_lan="agentnet")[0]
+    assert issl.get("db01").ip.startswith("10.0.0.")
+    issl_pub = generate_issl(dc, prefer_lan="public0")[0]
+    assert issl_pub.get("db01").ip.startswith("192.168.1.")
+
+
+def test_generate_issl_splits_past_200_entries(sim, rs):
+    from repro.cluster.datacenter import Datacenter
+    big = Datacenter(sim, rs, "big")
+    for i in range(230):
+        big.add_host(f"h{i:03d}", "linux-x86")
+    lists = generate_issl(big)
+    assert len(lists) == 2
+    assert len(lists[0]) == 200
+    assert len(lists[1]) == 30
+
+
+def test_drift_detector_quiet_on_stable_host(database):
+    det = SlktDriftDetector(build_slkt(database.host))
+    for _ in range(5):
+        assert det.observe(database.host) == []
+
+
+def test_drift_needs_persistence(database):
+    det = SlktDriftDetector(build_slkt(database.host), confirmations=3)
+    database.version = "9.0.1"      # an upgrade happened
+    assert det.observe(database.host) == []
+    assert det.observe(database.host) == []
+    ready = det.observe(database.host)
+    assert len(ready) == 1
+    assert ready[0].kind == "version"
+    assert ready[0].new == "9.0.1"
+
+
+def test_transient_drift_never_proposed(database):
+    det = SlktDriftDetector(build_slkt(database.host), confirmations=3)
+    database.version = "9.0.1"
+    det.observe(database.host)
+    det.observe(database.host)
+    database.version = "8.1.7"      # rolled back
+    assert det.observe(database.host) == []
+    # streak was reset: an upgrade later starts from scratch
+    database.version = "9.0.1"
+    assert det.observe(database.host) == []
+
+
+def test_new_and_gone_apps_detected(database, dc, sim):
+    det = SlktDriftDetector(build_slkt(database.host), confirmations=1)
+    from repro.apps.webserver import WebServer
+    ws = WebServer(dc.host("db01"), "new_httpd")
+    ws.start()
+    sim.run(until=sim.now + 60.0)
+    ready = det.observe(database.host)
+    assert any(u.kind == "new-app" and u.app == "new_httpd"
+               for u in ready)
+    # remove the database: gone-app
+    del dc.host("db01").apps[database.name]
+    ready = det.observe(database.host)
+    assert any(u.kind == "gone-app" and u.app == database.name
+               for u in ready)
+
+
+def test_apply_updates_template(database):
+    slkt = build_slkt(database.host)
+    det = SlktDriftDetector(slkt, confirmations=1)
+    database.version = "9.0.1"
+    ready = det.observe(database.host)
+    det.apply(database.host, ready)
+    assert slkt.apps[database.name].version == "9.0.1"
+    assert det.updates_applied == 1
+    # no further drift
+    assert det.observe(database.host) == []
+
+
+def test_apply_gone_app_removes_template(database):
+    slkt = build_slkt(database.host)
+    det = SlktDriftDetector(slkt, confirmations=1)
+    del database.host.apps[database.name]
+    ready = det.observe(database.host)
+    det.apply(database.host, ready)
+    assert database.name not in slkt.apps
+
+
+def test_proposed_update_describe():
+    u = ProposedUpdate("ora", "version", "8.1.7", "9.0.1")
+    assert "ora" in u.describe() and "9.0.1" in u.describe()

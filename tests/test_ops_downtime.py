@@ -1,0 +1,81 @@
+"""Unit tests for the downtime ledger."""
+
+import math
+
+import pytest
+
+from repro.faults.models import Category
+from repro.ops.downtime import DowntimeLedger
+
+
+@pytest.fixture
+def ledger():
+    return DowntimeLedger()
+
+
+def test_open_close_cycle(ledger):
+    inc = ledger.open_incident(Category.MID_CRASH, "db01/ora", 100.0)
+    assert inc.open
+    ledger.mark_detected("db01/ora", 160.0)
+    closed = ledger.close_incident("db01/ora", 400.0, auto_repaired=True)
+    assert closed is inc
+    assert inc.duration == 300.0
+    assert inc.detection_latency == 60.0
+    assert inc.auto_repaired
+
+
+def test_double_open_is_one_outage(ledger):
+    a = ledger.open_incident(Category.MID_CRASH, "t", 100.0)
+    b = ledger.open_incident(Category.MID_CRASH, "t", 150.0)
+    assert a is b
+    assert len(ledger.incidents) == 1
+
+
+def test_close_unknown_returns_none(ledger):
+    assert ledger.close_incident("ghost", 1.0) is None
+
+
+def test_hours_by_category(ledger):
+    ledger.record(Category.MID_CRASH, "a", 0.0, 7200.0)
+    ledger.record(Category.MID_CRASH, "b", 0.0, 3600.0)
+    ledger.record(Category.LSF, "c", 0.0, 1800.0)
+    hours = ledger.hours_by_category()
+    assert hours[Category.MID_CRASH] == 3.0
+    assert hours[Category.LSF] == 0.5
+    assert ledger.total_hours() == 3.5
+
+
+def test_open_incidents_not_counted_in_hours(ledger):
+    ledger.open_incident(Category.HUMAN, "t", 0.0)
+    assert ledger.total_hours() == 0.0
+    assert math.isnan(ledger.incidents[0].duration)
+
+
+def test_counts_and_means(ledger):
+    ledger.record(Category.HARDWARE, "a", 0.0, 3600.0)
+    ledger.record(Category.HARDWARE, "b", 0.0, 7200.0)
+    assert ledger.count_by_category()[Category.HARDWARE] == 2
+    assert ledger.mean_duration_hours(Category.HARDWARE) == 1.5
+    assert ledger.mean_duration_hours() == 1.5
+    assert ledger.mean_duration_hours(Category.LSF) == 0.0
+
+
+def test_detection_latencies_array(ledger):
+    ledger.record(Category.LSF, "a", 0.0, 100.0, detected_at=30.0)
+    ledger.record(Category.LSF, "b", 0.0, 100.0)        # undetected
+    lat = ledger.detection_latencies()
+    assert lat.tolist() == [30.0]
+
+
+def test_auto_repair_rate(ledger):
+    ledger.record(Category.LSF, "a", 0.0, 10.0, auto_repaired=True)
+    ledger.record(Category.LSF, "b", 0.0, 10.0, auto_repaired=False)
+    ledger.record(Category.LSF, "c", 0.0, 10.0)     # unknown: excluded
+    assert ledger.auto_repair_rate() == 0.5
+
+
+def test_reopen_after_close_is_new_incident(ledger):
+    ledger.open_incident(Category.HUMAN, "t", 0.0)
+    ledger.close_incident("t", 10.0)
+    ledger.open_incident(Category.HUMAN, "t", 20.0)
+    assert len(ledger.incidents) == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the parallel helpers and the CLI."""
+
+import pytest
+
+from repro.parallel import default_workers, replicate
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+def test_replicate_serial_small_batch():
+    assert replicate(_square, [1, 2, 3], min_parallel=10) == [1, 4, 9]
+
+
+def test_replicate_parallel_preserves_order():
+    seeds = list(range(12))
+    out = replicate(_square, seeds, min_parallel=2)
+    assert out == [s * s for s in seeds]
+
+
+def test_replicate_single_worker_is_serial():
+    assert replicate(_square, list(range(6)), processes=1) == [
+        s * s for s in range(6)]
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_cli_mttr_prints_table(capsys):
+    from repro.cli import main
+    assert main(["mttr", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "MTTR reproduction" in out
+    assert "mid-crash" in out
+
+
+def test_cli_ablation_centralised(capsys):
+    from repro.cli import main
+    assert main(["ablation-centralised"]) == 0
+    out = capsys.readouterr().out
+    assert "A-local" in out
+
+
+def test_cli_fig3_and_fig4(capsys):
+    from repro.cli import main
+    assert main(["fig3"]) == 0
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "Figure 4" in out
+    assert "BMC" in out
+
+
+def test_cli_fig2_single_replication(capsys):
+    from repro.cli import main
+    assert main(["fig2", "--replications", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "TOTAL" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
