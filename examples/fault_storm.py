@@ -8,18 +8,35 @@ then lets the system run and prints the incident ledger: what healed
 itself, how fast, and what was escalated to humans (network and
 hardware, per the paper's own limits).
 
-Run:  python examples/fault_storm.py
+Run:  python examples/fault_storm.py [--trace storm.json] [--timeline]
+
+``--trace`` writes a Chrome ``trace_event`` JSON of the whole night
+(open in chrome://tracing or Perfetto): one lane per host, every fault
+correlated by id from injection through detection, diagnosis and
+repair.  ``--timeline`` prints the same incidents as a flat-ASCII
+timeline.
 """
+
+import argparse
 
 from repro.cluster.hardware import ComponentKind
 from repro.experiments.runner import FidelityHarness
 from repro.experiments.site import SiteConfig, build_site
 from repro.sim.calendar import format_time
+from repro.trace import format_timeline, install_tracer, write_chrome_trace
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON here")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the per-fault incident timeline")
+    args = parser.parse_args(argv)
+
     site = build_site(SiteConfig.test_scale(seed=31, with_feeds=False,
                                             with_workload=False))
+    tracer = install_tracer(site.sim)
     harness = FidelityHarness(site)
     site.run(1500.0)
 
@@ -66,6 +83,14 @@ def main() -> None:
     for n in site.notifications.sent:
         if n.severity == "critical":
             print(f"      - {n.sender}: {n.subject}")
+
+    if args.timeline:
+        print()
+        print(format_timeline(tracer))
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(f"\nchrome trace written to {args.trace} "
+              f"(open in chrome://tracing)")
 
 
 if __name__ == "__main__":

@@ -8,13 +8,19 @@ artefacts from the terminal:
     repro-exp fig2 --replications 5
     repro-exp fig3
     repro-exp fig4
-    repro-exp latency
+    repro-exp latency --trace latency.json
     repro-exp mttr
+    repro-exp metrics --timeline
     repro-exp ablation-frequency
     repro-exp ablation-resubmission
     repro-exp ablation-network
     repro-exp ablation-centralised
     repro-exp all
+
+``--trace FILE`` writes a Chrome ``trace_event`` JSON (open it in
+``chrome://tracing`` or Perfetto) and ``--timeline`` appends the
+flat-ASCII per-fault incident timeline; both apply to the experiments
+that drive a live site (``latency``, ``metrics``).
 """
 
 from __future__ import annotations
@@ -44,12 +50,64 @@ def _fig4(args) -> str:
 
 def _latency(args) -> str:
     from repro.experiments import latency
-    return latency.format_result(latency.run(seed=args.seed))
+    tracer = _make_tracer(args)
+    out = latency.format_result(latency.run(seed=args.seed, tracer=tracer))
+    return out + _trace_outputs(args, tracer)
 
 
 def _mttr(args) -> str:
     from repro.experiments import mttr
-    return mttr.format_result(mttr.run(seed=args.seed))
+    tracer = _make_tracer(args)
+    out = mttr.format_result(mttr.run(seed=args.seed, tracer=tracer))
+    return out + _trace_outputs(args, tracer, timeline=False)
+
+
+def _metrics(args) -> str:
+    """Short full-fidelity fault storm; dump the metrics registry."""
+    from repro.experiments.report import metrics_summary
+    from repro.experiments.runner import FidelityHarness
+    from repro.experiments.site import SiteConfig, build_site
+    from repro.trace import install_tracer
+
+    site = build_site(SiteConfig.test_scale(
+        seed=args.seed, with_workload=False, with_feeds=False))
+    tracer = install_tracer(site.sim)
+    harness = FidelityHarness(site)
+    site.run(1800.0)
+    inj = harness.injector
+    inj.db_crash(site.databases[0])
+    inj.app_hang(site.frontends[0])
+    inj.runaway_process(site.databases[1].host)
+    site.run(2 * 3600.0)
+    harness.scan_flags_for_detection()
+    out = metrics_summary(tracer.metrics.snapshot(),
+                          title="Site metrics after a 2 h storm run")
+    return out + _trace_outputs(args, tracer)
+
+
+def _make_tracer(args):
+    """A tracer when any trace output was asked for, else None (the
+    experiment then creates its own, or runs untraced)."""
+    if not (getattr(args, "trace", None) or getattr(args, "timeline", False)):
+        return None
+    from repro.trace import Tracer
+    return Tracer()
+
+
+def _trace_outputs(args, tracer, *, timeline: bool = True) -> str:
+    """Append --timeline text and honour --trace FILE."""
+    if tracer is None:
+        return ""
+    extra = ""
+    if timeline and getattr(args, "timeline", False):
+        from repro.trace import format_timeline
+        extra += "\n\n" + format_timeline(tracer)
+    path = getattr(args, "trace", None)
+    if path:
+        from repro.trace import write_chrome_trace
+        write_chrome_trace(tracer, path)
+        extra += f"\n\n[chrome trace written to {path}]"
+    return extra
 
 
 def _ablation_frequency(args) -> str:
@@ -88,6 +146,7 @@ _EXPERIMENTS = {
     "fig4": _fig4,
     "latency": _latency,
     "mttr": _mttr,
+    "metrics": _metrics,
     "ablation-frequency": _ablation_frequency,
     "ablation-resubmission": _ablation_resubmission,
     "ablation-network": _ablation_network,
@@ -108,6 +167,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--replications", type=int, default=5,
                         help="fault-draw replications (fig2)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON of the "
+                             "run (latency, mttr, metrics)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the flat-ASCII incident timeline")
     args = parser.parse_args(argv)
 
     names = (sorted(_EXPERIMENTS) if args.experiment == "all"

@@ -120,12 +120,17 @@ class AdministrationServers:
         components, cross-host dependency chains) surface here."""
         if self.active() is None:
             return
+        tracer = self.sim.tracer
+        probe_span = tracer.span("admin.service_probe",
+                                 services=len(self.services))
+        failures = 0
         for svc in self.services:
             self.service_probes += 1
             ok, ms, err = svc.end_to_end_probe()
             if ok:
                 self.services_unhealthy.discard(svc.name)
                 continue
+            failures += 1
             self.service_probe_failures += 1
             if svc.name in self.services_unhealthy:
                 continue        # already reported this outage
@@ -137,6 +142,12 @@ class AdministrationServers:
                     severity="critical", sender="admin-servers")
             self._log_pool(f"{self.sim.now:.0f} SERVICE-DOWN "
                            f"{svc.name}: {err}")
+        probe_span.finish(failures=failures)
+        if tracer.enabled:
+            tracer.metrics.counter("admin.service_probes").inc(
+                len(self.services))
+            if failures:
+                tracer.metrics.counter("admin.probe_failures").inc(failures)
 
     def receive_dlsp(self, dlsp: Dlsp) -> None:
         """Called (over the agent channel) by the status agents."""
@@ -156,6 +167,12 @@ class AdministrationServers:
         if head is None:
             return
         now = self.sim.now
+        tracer = self.sim.tracer
+        sweep_span = tracer.span("admin.flag_sweep", head=head.name,
+                                 hosts=len(self.suites))
+        stale_hosts = 0
+        if tracer.enabled:
+            tracer.metrics.counter("admin.flag_sweeps").inc()
         for host_name, suite in self.suites.items():
             host = self.dc.hosts.get(host_name)
             if host is None:
@@ -179,16 +196,20 @@ class AdministrationServers:
             if not stale:
                 self.hosts_escalated.discard(host_name)
                 continue
+            stale_hosts += 1
             # "they start troubleshooting intelliagent processes":
             # the usual cause of *all* flags stopping is a dead cron
             if len(stale) == len(suite.agents) and not host.crond.running:
                 apply_action("restart_cron", host, "crond")
                 self.cron_repairs += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("admin.cron_repairs").inc()
                 self._log_pool(f"{now:.0f} restarted crond on {host_name}")
             else:
                 self._escalate_host(
                     host_name,
                     f"agents not flagging: {', '.join(sorted(stale))}")
+        sweep_span.finish(stale_hosts=stale_hosts)
 
     def _stale_agents(self, host, suite, now: float) -> List[str]:
         stale = []
@@ -216,10 +237,16 @@ class AdministrationServers:
         if head is None:
             return
         now = self.sim.now
+        tracer = self.sim.tracer
+        build_span = tracer.span("admin.dgspl_build", head=head.name)
         fresh = [d for d in self.dlsps.values()
                  if now - d.generated_at <= 2 * self.agent_period + 60.0]
         self.dgspl = build_dgspl(fresh, now)
         self.dgspl_generations += 1
+        build_span.finish(fresh_dlsps=len(fresh),
+                          entries=len(self.dgspl.entries))
+        if tracer.enabled:
+            tracer.metrics.counter("admin.dgspl_builds").inc()
         if self.pool is not None:
             # "per database type": one list per application type
             by_type: Dict[str, List[str]] = {}

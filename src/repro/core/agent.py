@@ -112,40 +112,76 @@ class Intelliagent:
         now = self.sim.now
         if not self.host.is_up:
             return
+        tracer = self.sim.tracer
         # same-type lockout
         if self._proc is not None:
             if now < self._busy_until and self.host.ptable.get(self._proc.pid):
                 self.stats.skipped += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("agent.skipped").inc()
                 self._flag("skipped", "previous instance still running")
                 return
             self._end_proc()
         self._start_proc()
         self.stats.runs += 1
         self.stats.cpu_seconds += self.RUN_CPU_SECONDS
+        if tracer.enabled:
+            tracer.metrics.counter("agent.runs").inc()
         busy = 0.0
+        run_span = tracer.span("agent.run", agent=self.name,
+                               host=self.host.name, category=self.category)
         try:
-            if self.parts.self_maintenance:
-                self._self_maintain(now)
-            findings = self.monitor() if self.parts.monitoring else []
-            if not findings:
-                self._recover_subjects()
-                self.on_clean_run()
-                self._flag("ok")
-                return
-            self.stats.faults_found += len(findings)
-            self._log(f"found {len(findings)} fault(s): "
-                      + "; ".join(f"{f.kind}:{f.subject}" for f in findings))
-            self._flag("fault", "; ".join(
-                f"{f.kind} {f.subject} {f.detail}" for f in findings))
-            diagnoses = []
-            if self.parts.diagnosing:
-                diagnoses = [self.engine.diagnose(self.host, f)
-                             for f in findings]
-            else:
-                diagnoses = [Diagnosis(f, f.kind, [], confirmed=False)
-                             for f in findings]
-            for diag in diagnoses:
-                busy = max(busy, self._handle(diag))
+            with run_span:
+                if self.parts.self_maintenance:
+                    with tracer.span("agent.self_maintain"):
+                        self._self_maintain(now)
+                with tracer.span("agent.monitor") as mon_span:
+                    findings = self.monitor() if self.parts.monitoring else []
+                    mon_span.set_attr("findings", len(findings))
+                if not findings:
+                    with tracer.span("agent.communicate"):
+                        self._recover_subjects()
+                        self.on_clean_run()
+                        self._flag("ok")
+                    return
+                self.stats.faults_found += len(findings)
+                if tracer.enabled:
+                    tracer.metrics.counter("agent.faults_found").inc(
+                        len(findings))
+                    for f in findings:
+                        # the zero-length detection span carries the
+                        # correlated fault id: this is the "detected"
+                        # stamp in the incident trace
+                        tracer.record_span(
+                            "fault.detect", now, now,
+                            fault_id=tracer.fault_id_for(f.subject),
+                            subject=f.subject, kind=f.kind,
+                            agent=self.name, host=self.host.name)
+                with tracer.span("agent.communicate"):
+                    self._log(
+                        f"found {len(findings)} fault(s): "
+                        + "; ".join(f"{f.kind}:{f.subject}"
+                                    for f in findings))
+                    self._flag("fault", "; ".join(
+                        f"{f.kind} {f.subject} {f.detail}"
+                        for f in findings))
+                diagnoses = []
+                for f in findings:
+                    with tracer.span(
+                            "agent.diagnose", subject=f.subject,
+                            kind=f.kind, agent=self.name,
+                            fault_id=tracer.fault_id_for(f.subject)
+                            ) as diag_span:
+                        if self.parts.diagnosing:
+                            diag = self.engine.diagnose(self.host, f)
+                        else:
+                            diag = Diagnosis(f, f.kind, [], confirmed=False)
+                        diag_span.set_attr("cause", diag.cause)
+                    diagnoses.append(diag)
+                for diag in diagnoses:
+                    with tracer.span("agent.heal",
+                                     subject=diag.finding.subject):
+                        busy = max(busy, self._handle(diag))
         finally:
             if busy > 0.0:
                 self._busy_until = self.sim.now + busy
@@ -174,14 +210,19 @@ class Intelliagent:
             return 0.0
         self._attempts[subject] = attempts + 1
         busy = 0.0
+        tracer = self.sim.tracer
         for action in diag.actions:
             self.stats.heals_attempted += 1
+            if tracer.enabled:
+                tracer.metrics.counter("agent.heals_attempted").inc()
             result = apply_action(action, self.host, subject)
             self._log(f"action {action} on {subject}: "
                       f"{'ok' if result.success else 'FAILED'} "
                       f"({result.detail})")
             if result.success:
                 self.stats.heals_succeeded += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("agent.heals_succeeded").inc()
                 self._flag("fixed", f"{action} {subject}")
                 self._tell_admins(f"fixed {subject} via {action}")
                 busy = max(busy, result.busy_for)
@@ -203,6 +244,12 @@ class Intelliagent:
             return
         self._escalated.add(subject)
         self.stats.escalations += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("agent.escalations").inc()
+            tracer.instant("fault.escalated", subject=subject,
+                           agent=self.name, reason=reason,
+                           fault_id=tracer.fault_id_for(subject))
         self._flag("failed", f"{subject}: {diag.cause} ({reason})")
         if self.parts.communication and self.notifications is not None:
             self.notifications.email(

@@ -193,4 +193,10 @@ def apply_action(name: str, host, subject: str) -> ActionResult:
     fn = ACTIONS.get(name)
     if fn is None:
         return ActionResult(name, False, 0.0, f"unknown action {name!r}")
-    return fn(host, subject)
+    tracer = host.sim.tracer
+    with tracer.span(f"heal.{name}", subject=subject, host=host.name,
+                     fault_id=tracer.fault_id_for(subject)) as span:
+        result = fn(host, subject)
+        span.set_attr("outcome", "ok" if result.success else "failed")
+        span.set_attr("busy_for", result.busy_for)
+    return result

@@ -61,18 +61,29 @@ class JobManager:
             return
         if self.admin.active() is None:
             return              # both coordinators down: nothing watches
-        if job.resubmits >= self.MAX_RESUBMITS:
-            self._give_up(job, f"{job.resubmits} resubmissions exhausted")
-            return
-        server = self._select_server(job)
-        if server is None:
-            self._give_up(job, "no eligible database server")
-            return
-        job.requested_server = server
-        if self.lsf.resubmit(job):
-            self.resubmitted += 1
-        else:
-            self._give_up(job, "LSF master is down")
+        tracer = self.sim.tracer
+        with tracer.span("jobmgr.resubmit", job=job.job_id,
+                         failed_on=",".join(job.failed_on)) as span:
+            if job.resubmits >= self.MAX_RESUBMITS:
+                span.set_attr("outcome", "gave-up")
+                self._give_up(job,
+                              f"{job.resubmits} resubmissions exhausted")
+                return
+            server = self._select_server(job)
+            if server is None:
+                span.set_attr("outcome", "gave-up")
+                self._give_up(job, "no eligible database server")
+                return
+            job.requested_server = server
+            span.set_attr("server", server)
+            if self.lsf.resubmit(job):
+                self.resubmitted += 1
+                span.set_attr("outcome", "resubmitted")
+                if tracer.enabled:
+                    tracer.metrics.counter("jobmgr.resubmitted").inc()
+            else:
+                span.set_attr("outcome", "gave-up")
+                self._give_up(job, "LSF master is down")
 
     def _select_server(self, job: BatchJob) -> Optional[str]:
         """The DGSPL shortlist with the SLKT power rule."""
@@ -121,6 +132,8 @@ class JobManager:
 
     def _give_up(self, job: BatchJob, reason: str) -> None:
         self.gave_up += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.metrics.counter("jobmgr.gave_up").inc()
         if self.notifications is not None:
             self.notifications.email(
                 "operators",

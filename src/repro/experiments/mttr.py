@@ -16,7 +16,7 @@ average about 4 h.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.faults.models import CATEGORY_PROFILES, Category
 from repro.ops.operators import OperatorModel
 from repro.sim import RandomStreams
 from repro.sim.calendar import DAY, HOUR
+from repro.trace import Tracer, span_durations
 
 __all__ = ["MttrResult", "run", "format_result"]
 
@@ -38,43 +39,54 @@ class MttrResult:
     agent_mean_repair_h: float
 
 
-def run(seed: int = 0, samples_per_category: int = 400) -> MttrResult:
+def run(seed: int = 0, samples_per_category: int = 400,
+        tracer: Optional[Tracer] = None) -> MttrResult:
     rs = RandomStreams(seed)
     ops = OperatorModel(rs.get("mttr.ops"))
     rng = rs.get("mttr.times")
 
-    rows: Dict[Category, tuple] = {}
-    manual_all: List[float] = []
-    escalated_all: List[float] = []
-    agent_all: List[float] = []
+    # each model draw becomes a recorded repair span; every statistic
+    # below is then derived from the trace, so the numbers the table
+    # reports and the spans a viewer shows are the same data
+    if tracer is None:
+        tracer = Tracer()
     for cat, prof in CATEGORY_PROFILES.items():
-        manual_rep: List[float] = []
-        escal: List[float] = []
-        agent_rep: List[float] = []
         for _ in range(samples_per_category):
             t = float(rng.uniform(0, 7 * DAY))
             manual = ops.resolve_manual(prof, t)
-            manual_rep.append(manual.repair)
-            if manual.escalated:
-                escal.append(manual.repair)
+            det = t + manual.detection
+            tracer.record_span("manual.repair", det, det + manual.repair,
+                               category=cat.value,
+                               escalated=manual.escalated)
             agent = ops.resolve_agent(prof, t)
             if not agent.prevented:
-                agent_rep.append(agent.repair)
-        manual_all.extend(manual_rep)
-        escalated_all.extend(escal)
-        agent_all.extend(agent_rep)
+                det = t + agent.detection
+                tracer.record_span("agent.repair", det, det + agent.repair,
+                                   category=cat.value)
+
+    rows: Dict[Category, tuple] = {}
+    for cat in CATEGORY_PROFILES:
+        manual_rep = span_durations(tracer, "manual.repair",
+                                    category=cat.value)
+        escal = span_durations(tracer, "manual.repair",
+                               category=cat.value, escalated=True)
+        agent_rep = span_durations(tracer, "agent.repair",
+                                   category=cat.value)
         rows[cat] = (
             float(np.median(manual_rep)) / HOUR,
-            float(np.mean(escal)) / HOUR if escal else 0.0,
-            float(np.mean(agent_rep)) / HOUR if agent_rep else 0.0,
+            float(np.mean(escal)) / HOUR if len(escal) else 0.0,
+            float(np.mean(agent_rep)) / HOUR if len(agent_rep) else 0.0,
         )
+    manual_all = span_durations(tracer, "manual.repair")
+    escalated_all = span_durations(tracer, "manual.repair", escalated=True)
+    agent_all = span_durations(tracer, "agent.repair")
     return MttrResult(
         rows=rows,
         manual_median_repair_h=float(np.median(manual_all)) / HOUR,
         manual_escalated_mean_h=float(np.mean(escalated_all)) / HOUR
-        if escalated_all else 0.0,
+        if len(escalated_all) else 0.0,
         agent_mean_repair_h=float(np.mean(agent_all)) / HOUR
-        if agent_all else 0.0)
+        if len(agent_all) else 0.0)
 
 
 def format_result(r: MttrResult) -> str:

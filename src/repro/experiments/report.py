@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["table", "fmt"]
+__all__ = ["table", "fmt", "metrics_summary"]
 
 
 def fmt(value, width: int = 0) -> str:
@@ -32,3 +32,23 @@ def table(headers: Sequence[str], rows: Iterable[Sequence],
     for row in str_rows:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def metrics_summary(snapshot: dict, title: str = "Metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as ASCII tables."""
+    parts: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append(table(["counter", "value"],
+                           sorted(counters.items()), title=title))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        parts.append(table(["gauge", "value"], sorted(gauges.items())))
+    hists = snapshot.get("histograms", {})
+    if hists:
+        rows = [(name, h["count"], round(h["mean"], 3))
+                for name, h in sorted(hists.items())]
+        parts.append(table(["histogram", "count", "mean"], rows))
+    if not parts:
+        return f"{title}\n  (no metrics recorded)"
+    return "\n\n".join(parts)

@@ -54,14 +54,21 @@ class FidelityHarness:
         category = _APP_CATEGORY.get(app.app_type, Category.COMPLETELY_DOWN)
 
         def on_state(state):
+            tracer = self.sim.tracer
             if state in (AppState.CRASHED, AppState.HUNG):
                 self.ledger.open_incident(category, target, self.sim.now)
+                if tracer.enabled:
+                    tracer.instant("service.down", target=target,
+                                   fault_id=tracer.fault_id_for(target))
             elif state is AppState.STOPPED and not app.host.is_up:
                 self.ledger.open_incident(category, target, self.sim.now,
                                           note="host-down")
             elif state is AppState.RUNNING:
-                self.ledger.close_incident(target, self.sim.now,
-                                           auto_repaired=True)
+                closed = self.ledger.close_incident(target, self.sim.now,
+                                                    auto_repaired=True)
+                if closed is not None and tracer.enabled:
+                    tracer.instant("service.restored", target=target,
+                                   fault_id=tracer.fault_id_for(target))
 
         app.state_changed.subscribe(on_state)
 

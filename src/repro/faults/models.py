@@ -204,6 +204,9 @@ class FaultEvent:
     kind: str                 # concrete flavour, e.g. "db-crash", "nic-fail"
     time: float
     target: str = ""          # host/app/lan name
+    #: trace-correlation id assigned at injection when a tracer is on;
+    #: every detection/diagnosis/repair span of this fault carries it
+    fault_id: str = ""
     detected_at: Optional[float] = None
     repaired_at: Optional[float] = None
     auto_repaired: Optional[bool] = None

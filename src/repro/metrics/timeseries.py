@@ -23,6 +23,11 @@ class TimeSeries:
         self.name = name
         self._t: List[float] = []
         self._v: List[float] = []
+        # list->ndarray conversion is O(n); campaign aggregations read
+        # .times/.values thousands of times between appends, so cache
+        # the arrays and invalidate on mutation
+        self._t_arr: Optional[np.ndarray] = None
+        self._v_arr: Optional[np.ndarray] = None
 
     def append(self, t: float, value: float) -> None:
         if self._t and t < self._t[-1]:
@@ -30,17 +35,23 @@ class TimeSeries:
                 f"timestamps must be non-decreasing ({t} < {self._t[-1]})")
         self._t.append(float(t))
         self._v.append(float(value))
+        self._t_arr = None
+        self._v_arr = None
 
     def __len__(self) -> int:
         return len(self._t)
 
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._t, dtype=np.float64)
+        if self._t_arr is None:
+            self._t_arr = np.asarray(self._t, dtype=np.float64)
+        return self._t_arr
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._v, dtype=np.float64)
+        if self._v_arr is None:
+            self._v_arr = np.asarray(self._v, dtype=np.float64)
+        return self._v_arr
 
     # -- statistics -----------------------------------------------------------
 

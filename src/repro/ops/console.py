@@ -117,4 +117,21 @@ class OperatorConsole:
             rep = f" x{a.count}" if a.count > 1 else ""
             lines.append(f"  [{a.severity.upper():<8s}] {a.subject}"
                          f"{rep}  ({age_min:.0f} min){ack}")
+        counters = self._live_counters()
+        if counters:
+            lines.append("  -- site counters: " + "  ".join(
+                f"{k}={v:g}" for k, v in counters))
         return "\n".join(lines)
+
+    #: counters worth a line on the operators' pane of glass
+    _BOARD_COUNTERS = ("faults.injected", "agent.faults_found",
+                       "agent.heals_succeeded", "agent.escalations",
+                       "jobmgr.resubmitted", "admin.cron_repairs")
+
+    def _live_counters(self) -> List[tuple]:
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return []
+        snap = tracer.metrics.snapshot()["counters"]
+        return [(name, snap[name]) for name in self._BOARD_COUNTERS
+                if name in snap]

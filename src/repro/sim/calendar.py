@@ -94,7 +94,12 @@ def next_grid(t: float, period: float, offset: float = 0.0,
     point = k * period + offset
     if point > t or (not strict and point == t):
         return point
-    return (k + 1) * period + offset
+    nxt = (k + 1) * period + offset
+    if nxt < t or (strict and nxt == t):
+        # float rounding pushed the quotient a grid step low (tiny
+        # subnormal offsets can underflow the division); step once more
+        nxt += period
+    return nxt
 
 
 def prev_grid(t: float, period: float, offset: float = 0.0) -> float:
@@ -102,7 +107,12 @@ def prev_grid(t: float, period: float, offset: float = 0.0) -> float:
     if period <= 0:
         raise ValueError(f"period must be positive, got {period!r}")
     k = math.floor((t - offset) / period)
-    return k * period + offset
+    point = k * period + offset
+    if point > t:
+        # float rounding at the boundary (e.g. a subnormal offset whose
+        # division underflows to zero) can land one step late; back up
+        point -= period
+    return point
 
 
 def grid_points(t0: float, t1: float, period: float,

@@ -25,6 +25,8 @@ import itertools
 import math
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.trace.tracer import NULL_TRACER
+
 __all__ = ["Simulator", "Event", "Signal", "SimProcess", "Interrupt"]
 
 
@@ -72,9 +74,15 @@ class Event:
         return (self.time, self.priority, self.seq) < (
             other.time, other.priority, other.seq)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "fired" if self._fired else ("alive" if self._alive else "cancelled")
-        return f"<Event t={self.time:.3f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+    def __repr__(self) -> str:
+        # a repr must never raise mid-debug, even on a half-built event
+        fired = getattr(self, "_fired", False)
+        alive = getattr(self, "_alive", False)
+        state = "fired" if fired else ("alive" if alive else "cancelled")
+        t = getattr(self, "time", None)
+        ts = f"{t:.3f}" if isinstance(t, (int, float)) else "?"
+        fn = getattr(self, "fn", None)
+        return f"<Event t={ts} {getattr(fn, '__name__', fn)} {state}>"
 
 
 class Signal:
@@ -171,6 +179,14 @@ class SimProcess:
     def _resume(self, value: Any) -> None:
         if self.done:
             return
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.capture_resumes:
+            with tracer.span("proc.resume", proc=self.name):
+                self._advance(value)
+        else:
+            self._advance(value)
+
+    def _advance(self, value: Any) -> None:
         self._pending_event = None
         self._waiting_signal = None
         try:
@@ -235,8 +251,11 @@ class SimProcess:
         self.gen.close()
         self._finish(None)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<SimProcess {self.name!r} done={self.done}>"
+    def __repr__(self) -> str:
+        # safe on a partially initialised process (mid-debug aid)
+        name = getattr(self, "name", "?")
+        done = getattr(self, "done", False)
+        return f"<SimProcess {name!r} done={done}>"
 
 
 class Simulator:
@@ -253,6 +272,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        #: observability hook; the shared disabled tracer by default so
+        #: instrumented components can call it unconditionally
+        self.tracer = NULL_TRACER
 
     # -- scheduling ------------------------------------------------------
 
@@ -299,6 +321,8 @@ class Simulator:
             self.now = ev.time
             ev._fired = True
             self.events_processed += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("sim.events").inc()
             ev.fn(*ev.args)
             return True
         return False
@@ -317,6 +341,9 @@ class Simulator:
         self._running = True
         budget = math.inf if max_events is None else max_events
         heap = self._heap
+        # hoisted per-run: keeps the disabled-tracer loop branch-only
+        count_event = (self.tracer.metrics.counter("sim.events").inc
+                       if self.tracer.enabled else None)
         try:
             while heap and budget > 0:
                 ev = heap[0]
@@ -330,6 +357,8 @@ class Simulator:
                 ev._fired = True
                 self.events_processed += 1
                 budget -= 1
+                if count_event is not None:
+                    count_event()
                 ev.fn(*ev.args)
         finally:
             self._running = False

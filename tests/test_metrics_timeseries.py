@@ -89,3 +89,29 @@ def test_merge_three_series():
     merged = merge_by_timestamp([a, b, c])
     assert merged["t"].tolist() == [0.0, 20.0]
     assert merged["c"].tolist() == [6.0, 8.0]
+
+
+def test_times_values_arrays_are_cached():
+    ts = _ts("x", [(0, 1.0), (10, 2.0)])
+    a = ts.times
+    assert ts.times is a                  # no per-read list->array copy
+    assert ts.values is ts.values
+
+
+def test_append_invalidates_cache():
+    ts = _ts("x", [(0, 1.0)])
+    before = ts.times
+    ts.append(5.0, 2.0)
+    after = ts.times
+    assert after is not before
+    assert after.tolist() == [0.0, 5.0]
+    assert ts.values.tolist() == [1.0, 2.0]
+
+
+def test_window_of_cached_series_is_consistent():
+    ts = _ts("x", [(0, 1.0), (10, 2.0), (20, 3.0)])
+    _ = ts.times                          # prime the cache
+    w = ts.window(0, 15)
+    assert w.times.tolist() == [0.0, 10.0]
+    w.append(30.0, 4.0)
+    assert w.times.tolist() == [0.0, 10.0, 30.0]

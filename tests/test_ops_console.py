@@ -97,3 +97,15 @@ def test_console_on_live_site(test_site):
     inj.component_failure(site.databases[0].host, ComponentKind.DISK)
     site.run(900.0)
     assert any("cannot fix" in a.subject for a in console.active())
+
+def test_board_shows_live_counters_when_traced(console, notifications, sim):
+    from repro.trace import install_tracer
+
+    board = console.board()
+    assert "site counters" not in board       # untraced sim: no line
+    tracer = install_tracer(sim)
+    tracer.metrics.counter("faults.injected").inc(3)
+    tracer.metrics.counter("agent.heals_succeeded").inc(2)
+    board = console.board()
+    assert "faults.injected=3" in board
+    assert "agent.heals_succeeded=2" in board

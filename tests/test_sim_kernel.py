@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim import Simulator, Signal, Interrupt
+from repro.sim import Event, Interrupt, Signal, SimProcess, Simulator
 
 
 def test_schedule_runs_in_time_order(sim):
@@ -262,3 +262,20 @@ def test_run_not_reentrant(sim):
     sim.schedule(1.0, evil)
     with pytest.raises(RuntimeError):
         sim.run()
+
+
+def test_event_repr_safe_on_partial_init(sim):
+    ev = sim.schedule(1.5, sim.run)
+    assert "1.500" in repr(ev) and "alive" in repr(ev)
+    partial = Event.__new__(Event)        # nothing set yet
+    assert "Event" in repr(partial)       # must not raise
+
+
+def test_process_repr_safe_on_partial_init(sim):
+    def p():
+        yield 1.0
+
+    proc = sim.spawn(p(), name="worker")
+    assert "worker" in repr(proc)
+    partial = SimProcess.__new__(SimProcess)
+    assert "SimProcess" in repr(partial)  # must not raise
