@@ -10,6 +10,18 @@ they are experiments, not microbenchmarks.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink replications/population so a bench finishes in "
+             "seconds -- the CI smoke mode; shape assertions still run")
+
+
+@pytest.fixture
+def quick(request):
+    return request.config.getoption("--quick")
+
+
 def emit(text: str) -> None:
     """Print a result table under pytest's capture (visible with -s,
     and in the captured-output section otherwise)."""

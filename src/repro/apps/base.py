@@ -319,6 +319,24 @@ class Application:
             return (False, self.connect_timeout_ms, "timeout")
         return (True, total, "")
 
+    def serve_batch(self, n: int) -> Tuple[int, int, float]:
+        """Serve an aggregated batch of ``n`` user requests.
+
+        Returns ``(served, failed, mean_latency_ms)``.  The whole batch
+        shares one state sample and one load-stretched latency -- the
+        fluid-traffic contract: within one engine tick the app's state
+        does not change, so per-request probing would only repeat the
+        same answer ``n`` times.  A crashed/hung app fails the batch at
+        its timeout (or instantly when refusing); a degraded app still
+        serves, slowly, unless it blows its own connect timeout.
+        """
+        if n <= 0:
+            return (0, 0, 0.0)
+        ok, ms, _err = self.probe()
+        if not ok:
+            return (0, n, ms)
+        return (n, 0, ms)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<{type(self).__name__} {self.name}@{self.host.name} "
                 f"{self.state.value}>")

@@ -77,3 +77,20 @@ class FrontendApp(Application):
             total += bms
         self.queries_served += 1
         return (True, total, "")
+
+    def serve_batch(self, n: int) -> Tuple[int, int, float]:
+        """Aggregated queries ride the same path as :meth:`run_query`:
+        a dead backend fails the whole batch even though the GUI is up."""
+        if n <= 0:
+            return (0, 0, 0.0)
+        ok, ms, _err = self.probe()
+        if not ok:
+            return (0, n, ms)
+        total = ms
+        if self.backend is not None:
+            bok, bms, _berr = self.backend.probe()
+            if not bok:
+                return (0, n, total + bms)
+            total += bms
+        self.queries_served += n
+        return (n, 0, total)

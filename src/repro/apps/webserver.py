@@ -32,6 +32,9 @@ class WebServer(Application):
                          startup=[StartupStep("spawn-workers", 10.0)],
                          shutdown_duration=5.0, **kw)
         self.io_demand = 0.05
+        #: every GET that reached (or tried to reach) the server --
+        #: availability SLIs are served/attempted, so failures count too
+        self.requests_attempted = 0
         self.requests_served = 0
         self.open_connections: Dict[str, float] = {}
 
@@ -41,6 +44,7 @@ class WebServer(Application):
         Status 0 means no TCP-level answer at all (crashed/hung),
         matching the 'read the exit code' style of the agent probes.
         """
+        self.requests_attempted += 1
         ok, ms, err = self.probe()
         if not ok:
             if err == "refused":
@@ -49,9 +53,11 @@ class WebServer(Application):
         self.requests_served += 1
         return (200, ms)
 
-    def probe(self) -> Tuple[bool, float, str]:
-        ok, ms, err = super().probe()
-        return (ok, ms, err)
+    def serve_batch(self, n: int) -> Tuple[int, int, float]:
+        served, failed, ms = super().serve_batch(n)
+        self.requests_attempted += served + failed
+        self.requests_served += served
+        return (served, failed, ms)
 
     def open_connection(self, client: str) -> bool:
         if self.state is not AppState.RUNNING:

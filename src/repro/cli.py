@@ -6,6 +6,7 @@ artefacts from the terminal:
 .. code-block:: text
 
     repro-exp fig2 --replications 5
+    repro-exp userqos --population 1000000
     repro-exp fig3
     repro-exp fig4
     repro-exp latency --trace latency.json
@@ -36,6 +37,13 @@ def _fig2(args) -> str:
     from repro.experiments import fig2
     seeds = list(range(args.seed, args.seed + args.replications))
     return fig2.format_result(fig2.run_replicated(seeds))
+
+
+def _userqos(args) -> str:
+    from repro.experiments import userqos
+    seeds = list(range(args.seed, args.seed + args.replications))
+    return userqos.format_result(
+        userqos.run_replicated(seeds, population=args.population))
 
 
 def _fig3(args) -> str:
@@ -142,6 +150,7 @@ def _ablation_checkpointing(args) -> str:
 
 _EXPERIMENTS = {
     "fig2": _fig2,
+    "userqos": _userqos,
     "fig3": _fig3,
     "fig4": _fig4,
     "latency": _latency,
@@ -166,7 +175,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="which artefact to regenerate")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--replications", type=int, default=5,
-                        help="fault-draw replications (fig2)")
+                        help="fault-draw replications (fig2, userqos)")
+    parser.add_argument("--population", type=int, default=1_000_000,
+                        help="simulated user population (userqos)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace_event JSON of the "
                              "run (latency, mttr, metrics)")

@@ -108,3 +108,8 @@ class FidelityHarness:
 
     def open_incidents(self) -> List:
         return [i for i in self.ledger.incidents if i.open]
+
+    def downtime_hours(self) -> Dict[Category, float]:
+        """Fig. 2 rows as of *now*: incidents still open are clamped to
+        the current sim time instead of silently dropped."""
+        return self.ledger.hours_by_category(as_of=self.sim.now)

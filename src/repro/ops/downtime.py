@@ -41,6 +41,15 @@ class Incident:
             return float("nan")
         return self.end - self.start
 
+    def duration_until(self, as_of: float) -> float:
+        """Duration clamped to ``as_of``: an incident still open then
+        has been down since ``start``, and one closed later has been
+        down for the part inside the horizon.  This is what campaign
+        aggregation must use -- NaN ``duration`` would silently drop
+        open incidents from Fig. 2 totals."""
+        end = as_of if self.end is None else min(self.end, as_of)
+        return max(0.0, end - self.start)
+
     @property
     def detection_latency(self) -> Optional[float]:
         if self.detected_at is None:
@@ -103,15 +112,27 @@ class DowntimeLedger:
     def closed(self) -> List[Incident]:
         return [i for i in self.incidents if not i.open]
 
-    def hours_by_category(self) -> Dict[Category, float]:
-        """The Fig. 2 rows: downtime hours per category."""
+    def hours_by_category(self, as_of: Optional[float] = None
+                          ) -> Dict[Category, float]:
+        """The Fig. 2 rows: downtime hours per category.
+
+        With ``as_of`` (the campaign horizon), incidents still open at
+        the end are *clamped* to it instead of dropped -- a service
+        that went down an hour before year-end and was never repaired
+        contributed an hour of downtime, not zero -- and incidents
+        closed after the horizon only count their inside part.
+        """
         out: Dict[Category, float] = {c: 0.0 for c in Category}
-        for inc in self.closed():
-            out[inc.category] += inc.duration / 3600.0
+        if as_of is None:
+            for inc in self.closed():
+                out[inc.category] += inc.duration / 3600.0
+        else:
+            for inc in self.incidents:
+                out[inc.category] += inc.duration_until(as_of) / 3600.0
         return out
 
-    def total_hours(self) -> float:
-        return sum(self.hours_by_category().values())
+    def total_hours(self, as_of: Optional[float] = None) -> float:
+        return sum(self.hours_by_category(as_of).values())
 
     def count_by_category(self) -> Dict[Category, int]:
         out: Dict[Category, int] = {c: 0 for c in Category}

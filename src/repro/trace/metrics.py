@@ -77,8 +77,44 @@ class Histogram:
         self.count += 1
         self.total += value
 
+    def observe_n(self, value: float, n: int) -> None:
+        """Record ``n`` observations of ``value`` at once -- the hook
+        the aggregated traffic engine uses to account a whole demand
+        batch at its mean latency without per-request loops."""
+        if n <= 0:
+            return
+        self.counts[bisect.bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def count_at_or_below(self, value: float) -> int:
+        """Observations known to be <= ``value`` (bucket granularity:
+        only whole buckets whose upper bound fits are counted)."""
+        return sum(self.counts[:bisect.bisect_right(self.bounds, value)])
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile by linear interpolation inside the
+        containing bucket.  The overflow bucket reports its lower bound
+        (the histogram does not know how far the tail reaches)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target and c:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):      # overflow bucket
+                    return self.bounds[-1]
+                hi = self.bounds[i]
+                frac = (target - (cum - c)) / c
+                return lo + frac * (hi - lo)
+        return self.bounds[-1]
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} mean={self.mean():g}>"

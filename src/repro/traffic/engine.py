@@ -1,0 +1,189 @@
+"""Traffic engines: drive user demand against the live site.
+
+Two fidelities, one accounting surface:
+
+- :class:`FluidTrafficEngine` -- the production path.  Users are an
+  *aggregated flow*: each tick it Poisson-samples the interval's demand
+  per class from the diurnal curve, spreads the batch through the
+  front door, and serves it with one :meth:`Application.serve_batch`
+  call per server.  A simulated day of 1M+ users costs thousands of
+  events instead of billions of per-request events, which is what makes
+  user-perceived QoS measurable at the paper's scale.
+- :class:`DiscreteTrafficEngine` -- per-request mode for tests and
+  small horizons: the same sampled counts, but every request becomes
+  its own simulation event at a uniformly-drawn instant inside the
+  interval.  The two modes agree on availability by construction
+  (identical arrival counts, identical serving surface); the unit
+  tests hold them together.
+
+Both record into :class:`repro.traffic.slo.Sli` per class and, when a
+tracer is installed, bump ``traffic.*`` counters in the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.traffic.frontdoor import FrontDoor
+from repro.traffic.slo import Sli
+from repro.traffic.workload import DemandCurve
+
+__all__ = ["FluidTrafficEngine", "DiscreteTrafficEngine", "doors_for_site"]
+
+
+class _EngineBase:
+    """Shared tick scaffolding and SLI accounting."""
+
+    def __init__(self, sim, curve: DemandCurve,
+                 doors: Dict[str, FrontDoor], streams, *,
+                 step: float = 60.0):
+        unknown = set(doors) - set(curve.by_name)
+        if unknown:
+            raise ValueError(f"doors for unknown classes: {sorted(unknown)}")
+        self.sim = sim
+        self.curve = curve
+        self.doors = dict(doors)
+        self.step = float(step)
+        self.rng = streams.get("traffic.arrivals")
+        self.slis: Dict[str, Sli] = {name: Sli(name) for name in doors}
+        self.ticks = 0
+        self._event = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._event = self.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        for name in sorted(self.doors):
+            cls = self.curve.by_name[name]
+            expected = self.curve.expected_requests(cls, now, now + self.step)
+            n = int(self.rng.poisson(expected)) if expected > 0 else 0
+            if n:
+                self._dispatch(name, n, now)
+        self.ticks += 1
+        self._event = self.sim.schedule(self.step, self._tick)
+
+    def _dispatch(self, cls_name: str, n: int, now: float) -> None:
+        raise NotImplementedError
+
+    # -- accounting ----------------------------------------------------------
+
+    def _account(self, cls_name: str, served: float, failed: float,
+                 latency_ms: float) -> None:
+        sli = self.slis[cls_name]
+        sli.record_batch(served, failed, latency_ms)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            m = tracer.metrics
+            m.counter("traffic.attempted").inc(served + failed)
+            m.counter("traffic.served").inc(served)
+            if failed:
+                m.counter("traffic.failed").inc(failed)
+
+    def _account_shed(self, cls_name: str, n: int) -> None:
+        if n <= 0:
+            return
+        self.slis[cls_name].record_shed(n)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("traffic.attempted").inc(n)
+            tracer.metrics.counter("traffic.shed").inc(n)
+
+    @property
+    def attempted(self) -> float:
+        return sum(s.attempted for s in self.slis.values())
+
+    @property
+    def served(self) -> float:
+        return sum(s.served for s in self.slis.values())
+
+    @property
+    def availability(self) -> float:
+        att = self.attempted
+        return 1.0 if att <= 0 else self.served / att
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {name: sli.snapshot()
+                for name, sli in sorted(self.slis.items())}
+
+
+class FluidTrafficEngine(_EngineBase):
+    """Aggregated-flow mode: one serve_batch call per server per tick."""
+
+    def _dispatch(self, cls_name: str, n: int, now: float) -> None:
+        alloc, shed = self.doors[cls_name].route(n, now)
+        for app, count in alloc:
+            served, failed, ms = app.serve_batch(count)
+            self._account(cls_name, served, failed, ms)
+        self._account_shed(cls_name, shed)
+
+
+class DiscreteTrafficEngine(_EngineBase):
+    """Per-request mode: every request is its own simulation event.
+
+    Kept for tests and short horizons -- it exercises the same front
+    door and serving surface request-by-request, so the fluid engine's
+    aggregation can be checked against it.  ``max_requests_per_tick``
+    guards against accidentally pointing a million-user curve at it.
+    """
+
+    def __init__(self, sim, curve: DemandCurve,
+                 doors: Dict[str, FrontDoor], streams, *,
+                 step: float = 60.0, max_requests_per_tick: int = 10_000):
+        super().__init__(sim, curve, doors, streams, step=step)
+        self.max_requests_per_tick = int(max_requests_per_tick)
+
+    def _dispatch(self, cls_name: str, n: int, now: float) -> None:
+        if n > self.max_requests_per_tick:
+            raise RuntimeError(
+                f"{n} requests in one tick: the discrete engine is for "
+                f"small horizons; use FluidTrafficEngine")
+        offsets = sorted(float(x) for x in
+                         self.rng.uniform(0.0, self.step, size=n))
+        for off in offsets:
+            self.sim.schedule(off, self._one_request, cls_name)
+
+    def _one_request(self, cls_name: str) -> None:
+        alloc, shed = self.doors[cls_name].route(1, self.sim.now)
+        if shed:
+            self._account_shed(cls_name, shed)
+            return
+        for app, count in alloc:
+            served, failed, ms = app.serve_batch(count)
+            self._account(cls_name, served, failed, ms)
+
+
+def doors_for_site(site, *, use_dgspl: bool = True,
+                   staleness: float = 900.0) -> Dict[str, FrontDoor]:
+    """Front doors for a built Site, one per user-facing tier.  With
+    ``use_dgspl`` (and an agented site) routing follows the admin
+    pair's load advertisements; otherwise plain round-robin."""
+    dgspl_fn = None
+    if use_dgspl and site.admin is not None:
+        dgspl_fn = site.admin.current_dgspl
+    doors: Dict[str, FrontDoor] = {}
+    if site.webservers:
+        doors["web"] = FrontDoor("webserver", site.webservers, dgspl_fn,
+                                 staleness=staleness)
+    if site.frontends:
+        doors["frontend"] = FrontDoor("frontend", site.frontends, dgspl_fn,
+                                      staleness=staleness)
+    if site.databases:
+        doors["db"] = FrontDoor("database", site.databases, dgspl_fn,
+                                staleness=staleness)
+    return doors

@@ -1,0 +1,141 @@
+"""QoS-aware demand spreading (the front door).
+
+The DGSPL already advertises every healthy service with its current
+load -- the paper uses it to place *batch* resubmissions.  The front
+door applies the same information to *user* traffic: demand batches
+are spread over the front-end/web tier inversely to advertised load,
+the spread degrades to plain round-robin when the DGSPL is stale (the
+admin pair rebuilds it only every ~15 minutes, so the front door must
+survive gaps), and load aimed at a server that is flagged down is
+shed -- redistributed to live peers, or dropped when none remain
+rather than queued against a corpse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FrontDoor", "Allocation"]
+
+#: (app, request count) pairs plus the shed remainder
+Allocation = Tuple[List[Tuple[object, int]], int]
+
+
+class FrontDoor:
+    """Spreads aggregated demand batches across one application tier."""
+
+    def __init__(self, app_type: str, apps: Sequence,
+                 dgspl_fn: Optional[Callable[[], Optional[object]]] = None,
+                 *, staleness: float = 900.0):
+        if not apps:
+            raise ValueError("front door needs at least one server")
+        #: deterministic service order (sorted once; dict draws are not
+        #: involved so routing is seed-stable)
+        self.apps = sorted(apps, key=lambda a: (a.host.name, a.name))
+        self.app_type = app_type
+        #: returns the latest DGSPL (or None); typically
+        #: ``lambda: admin.current_dgspl()``
+        self.dgspl_fn = dgspl_fn
+        #: DGSPL older than this is stale -> round-robin fallback
+        self.staleness = float(staleness)
+        self._down: set = set()
+        self._rr_offset = 0
+        #: counters for tests/benches
+        self.routed = 0
+        self.shed_total = 0
+        self.rr_batches = 0
+        self.weighted_batches = 0
+
+    # -- flag-driven shedding ------------------------------------------------
+
+    def flag_down(self, server: str) -> None:
+        """An agent fault-flag (or status sweep) marked this host down;
+        stop sending it traffic immediately -- do not wait for the next
+        DGSPL build."""
+        self._down.add(server)
+
+    def flag_up(self, server: str) -> None:
+        self._down.discard(server)
+
+    def down_servers(self) -> set:
+        return set(self._down)
+
+    # -- routing -------------------------------------------------------------
+
+    def _live_apps(self) -> List:
+        return [a for a in self.apps if a.host.name not in self._down]
+
+    def _weights(self, now: float) -> Optional[Dict[str, float]]:
+        """Per-server weights from a *fresh* DGSPL, else None."""
+        if self.dgspl_fn is None:
+            return None
+        dgspl = self.dgspl_fn()
+        if dgspl is None or (now - dgspl.generated_at) > self.staleness:
+            return None
+        weights: Dict[str, float] = {}
+        for e in dgspl.services_of_type(self.app_type):
+            # least-loaded-first: weight falls as advertised load rises
+            weights[e.server] = max(weights.get(e.server, 0.0),
+                                    1.0 / (1.0 + max(0.0, e.current_load)))
+        return weights
+
+    def route(self, n: int, now: float) -> Allocation:
+        """Split ``n`` requests across the tier.
+
+        Returns ``([(app, count), ...], shed)``.  Counts are exact
+        integers summing with ``shed`` to ``n``; the split is
+        deterministic (largest-remainder rounding, name-ordered).
+        """
+        if n <= 0:
+            return ([], 0)
+        live = self._live_apps()
+        if not live:
+            self.shed_total += n
+            return ([], n)
+
+        weights = self._weights(now)
+        if weights is not None:
+            listed = [a for a in live if a.host.name in weights]
+            if listed:
+                self.weighted_batches += 1
+                alloc = self._split_weighted(n, listed, weights)
+                self.routed += n
+                return (alloc, 0)
+            # fresh DGSPL lists nobody in this tier: every server is
+            # sick; shed rather than pile onto known-bad machines
+            self.shed_total += n
+            return ([], n)
+
+        # stale or absent DGSPL: degrade to round-robin over live servers
+        self.rr_batches += 1
+        alloc = self._split_round_robin(n, live)
+        self.routed += n
+        return (alloc, 0)
+
+    def _split_weighted(self, n: int, apps: List,
+                        weights: Dict[str, float]) -> List[Tuple[object, int]]:
+        total = sum(weights[a.host.name] for a in apps)
+        exact = [n * weights[a.host.name] / total for a in apps]
+        counts = [int(x) for x in exact]
+        rem = n - sum(counts)
+        # largest fractional remainder first; ties broken by name order,
+        # which is already the apps order
+        order = sorted(range(len(apps)),
+                       key=lambda i: (-(exact[i] - counts[i]), i))
+        for i in order[:rem]:
+            counts[i] += 1
+        return [(a, c) for a, c in zip(apps, counts) if c > 0]
+
+    def _split_round_robin(self, n: int,
+                           apps: List) -> List[Tuple[object, int]]:
+        k = len(apps)
+        base, extra = divmod(n, k)
+        counts = [base] * k
+        for j in range(extra):
+            counts[(self._rr_offset + j) % k] += 1
+        self._rr_offset = (self._rr_offset + extra) % k
+        return [(a, c) for a, c in zip(apps, counts) if c > 0]
+
+    def __repr__(self) -> str:   # pragma: no cover - debug aid
+        return (f"<FrontDoor {self.app_type} servers={len(self.apps)} "
+                f"down={len(self._down)}>")

@@ -1,0 +1,64 @@
+"""End-to-end determinism: same seed, same bytes.
+
+The experiments promise that (a) a seed fully determines a run and
+(b) the process-pool replication path is indistinguishable from the
+serial one.  Both are load-bearing -- the paper comparison is only
+paired if the two pipelines and the two execution modes see identical
+draws -- so this test byte-compares summary dicts rather than eyeball
+statistics.
+"""
+
+import json
+
+from repro.experiments import fig2, userqos
+from repro.sim.calendar import DAY
+
+HORIZON = 45 * DAY
+
+
+def canon(d) -> str:
+    return json.dumps(d, sort_keys=True)
+
+
+def test_userqos_same_seed_byte_identical():
+    a = userqos.run_once(7, horizon=HORIZON, population=100_000).summary()
+    b = userqos.run_once(7, horizon=HORIZON, population=100_000).summary()
+    assert canon(a) == canon(b)
+    c = userqos.run_once(8, horizon=HORIZON, population=100_000).summary()
+    assert canon(a) != canon(c)
+
+
+def test_fig2_same_seed_byte_identical():
+    def summary(seed):
+        before, after = fig2.run_once(seed, horizon=HORIZON)
+        return {
+            "before": {c.value: h
+                       for c, h in before.hours_by_category().items()},
+            "after": {c.value: h
+                      for c, h in after.hours_by_category().items()},
+            "detection": after.detection_by_period(),
+        }
+
+    assert canon(summary(7)) == canon(summary(7))
+    assert canon(summary(7)) != canon(summary(9))
+
+
+def test_userqos_serial_and_parallel_replication_agree():
+    seeds = [1, 2, 3]
+    serial = userqos.run_replicated(seeds, horizon=HORIZON,
+                                    population=100_000, parallel=False)
+    pooled = userqos.run_replicated(seeds, horizon=HORIZON,
+                                    population=100_000, parallel=True,
+                                    processes=2)
+    assert canon(serial) == canon(pooled)
+
+
+def test_fig2_serial_and_parallel_replication_agree():
+    seeds = [1, 2]
+    serial = fig2.run_replicated(seeds, horizon=HORIZON, parallel=False)
+    pooled = fig2.run_replicated(seeds, horizon=HORIZON, parallel=True,
+                                 processes=2)
+    assert serial.before_hours == pooled.before_hours
+    assert serial.after_hours == pooled.after_hours
+    assert serial.detection_before == pooled.detection_before
+    assert serial.detection_after == pooled.detection_after

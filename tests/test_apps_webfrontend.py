@@ -7,18 +7,43 @@ def test_http_get_200(webserver):
     status, ms = webserver.http_get("/")
     assert status == 200 and ms > 0
     assert webserver.requests_served == 1
+    assert webserver.requests_attempted == 1
 
 
 def test_http_get_no_answer_when_crashed(webserver):
     webserver.crash("x")
     status, _ = webserver.http_get("/")
     assert status == 0
+    # a failed GET still counts as an attempt: availability SLIs are
+    # served/attempted, so the denominator must include failures
+    assert webserver.requests_attempted == 1
+    assert webserver.requests_served == 0
 
 
 def test_http_get_times_out_when_hung(webserver):
     webserver.hang()
     status, ms = webserver.http_get("/")
     assert status == 0 and ms > 0
+    assert webserver.requests_attempted == 1
+
+
+def test_probe_not_overridden(webserver):
+    """Regression for the removed pass-through override: WebServer must
+    use the Application probe, not shadow it."""
+    from repro.apps.base import Application
+    from repro.apps.webserver import WebServer
+    assert "probe" not in WebServer.__dict__
+    assert WebServer.probe is Application.probe
+
+
+def test_serve_batch_counts_attempts(webserver):
+    served, failed, ms = webserver.serve_batch(100)
+    assert (served, failed) == (100, 0) and ms > 0
+    webserver.crash("x")
+    served, failed, _ = webserver.serve_batch(40)
+    assert (served, failed) == (0, 40)
+    assert webserver.requests_attempted == 140
+    assert webserver.requests_served == 100
 
 
 def test_connection_tracking(webserver):
@@ -59,6 +84,15 @@ def test_frontend_query_fails_when_frontend_dead(frontend):
     frontend.crash("x")
     ok, _, err = frontend.run_query()
     assert not ok and err.startswith("frontend")
+
+
+def test_frontend_serve_batch_fails_on_dead_backend(frontend, database):
+    served, failed, _ = frontend.serve_batch(10)
+    assert (served, failed) == (10, 0)
+    assert frontend.queries_served == 10
+    database.crash("x")
+    served, failed, _ = frontend.serve_batch(5)
+    assert (served, failed) == (0, 5)    # GUI up, backend dead
 
 
 def test_frontend_declares_dependency(frontend, database):

@@ -51,6 +51,36 @@ def test_open_incidents_not_counted_in_hours(ledger):
     assert math.isnan(ledger.incidents[0].duration)
 
 
+def test_open_incident_clamped_to_horizon(ledger):
+    """Regression: an incident still open at campaign end must be
+    clamped to the horizon, not dropped from the Fig. 2 totals."""
+    horizon = 10 * 3600.0
+    ledger.record(Category.MID_CRASH, "a", 0.0, 3600.0)     # closed: 1 h
+    ledger.open_incident(Category.MID_CRASH, "b", horizon - 7200.0)
+    # without a horizon the open incident is invisible (old behaviour)
+    assert ledger.total_hours() == 1.0
+    # with it, the open incident contributes its 2 h up to the horizon
+    hours = ledger.hours_by_category(as_of=horizon)
+    assert hours[Category.MID_CRASH] == 3.0
+    assert ledger.total_hours(as_of=horizon) == 3.0
+
+
+def test_incident_closed_after_horizon_counts_inside_part(ledger):
+    ledger.record(Category.LSF, "a", 3600.0, 7200.0)   # closes at t=3 h
+    assert ledger.total_hours(as_of=2 * 3600.0) == 1.0
+    # and an incident entirely after the horizon contributes nothing
+    ledger.record(Category.LSF, "b", 10 * 3600.0, 3600.0)
+    assert ledger.total_hours(as_of=2 * 3600.0) == 1.0
+
+
+def test_duration_until_clamps(ledger):
+    inc = ledger.open_incident(Category.HUMAN, "t", 100.0)
+    assert inc.duration_until(400.0) == 300.0
+    assert inc.duration_until(50.0) == 0.0
+    ledger.close_incident("t", 200.0)
+    assert inc.duration_until(400.0) == 100.0
+
+
 def test_counts_and_means(ledger):
     ledger.record(Category.HARDWARE, "a", 0.0, 3600.0)
     ledger.record(Category.HARDWARE, "b", 0.0, 7200.0)
