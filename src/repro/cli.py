@@ -7,6 +7,7 @@ artefacts from the terminal:
 
     repro-exp fig2 --replications 5
     repro-exp userqos --population 1000000
+    repro-exp relocation --trace relocation.json --timeline
     repro-exp fig3
     repro-exp fig4
     repro-exp latency --trace latency.json
@@ -44,6 +45,21 @@ def _userqos(args) -> str:
     seeds = list(range(args.seed, args.seed + args.replications))
     return userqos.format_result(
         userqos.run_replicated(seeds, population=args.population))
+
+
+def _relocation(args) -> str:
+    from repro.experiments import relocation
+    seeds = list(range(args.seed, args.seed + args.replications))
+    out = relocation.format_result(
+        relocation.run_replicated(seeds, population=args.population))
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        # one traced replication so --trace/--timeline show the
+        # relocate.* phases of every modelled failover
+        relocation.run_once(args.seed, population=args.population,
+                            tracer=tracer)
+        out += _trace_outputs(args, tracer)
+    return out
 
 
 def _fig3(args) -> str:
@@ -151,6 +167,7 @@ def _ablation_checkpointing(args) -> str:
 _EXPERIMENTS = {
     "fig2": _fig2,
     "userqos": _userqos,
+    "relocation": _relocation,
     "fig3": _fig3,
     "fig4": _fig4,
     "latency": _latency,

@@ -41,7 +41,8 @@ class AdministrationServers:
     SVC_PROBE_PERIOD = 1800.0
 
     def __init__(self, dc, primary, standby, pool, *, channel=None,
-                 notifications=None, agent_period: float = 300.0):
+                 notifications=None, relocator=None,
+                 agent_period: float = 300.0):
         self.dc = dc
         self.sim = dc.sim
         self.primary = primary
@@ -49,6 +50,9 @@ class AdministrationServers:
         self.pool = pool
         self.channel = channel
         self.notifications = notifications
+        #: optional relocation tier (repro.relocate.ServiceRelocator);
+        #: sits between local healing and paging the on-call human
+        self.relocator = relocator
         self.agent_period = float(agent_period)
         #: "every X+5 minutes, where X is the frequency intelliagent run"
         self.watch_period = self.agent_period + 300.0
@@ -67,6 +71,10 @@ class AdministrationServers:
         self.dgspl_generations = 0
         self.cron_repairs = 0
         self.hosts_escalated: set = set()
+        #: escalated hosts that have come back up since their page; a
+        #: further failure is a new incident, not the one already paged
+        self._recovered_since: set = set()
+        self.pool_write_failures = 0
         self.failovers = 0
         self._last_active: Optional[str] = None
 
@@ -109,6 +117,10 @@ class AdministrationServers:
     def register_suite(self, suite) -> None:
         self.suites[suite.host.name] = suite
         self._registered_at[suite.host.name] = self.sim.now
+        # a boot re-arms the escalation latch even when the host flaps
+        # faster than the watchdog can observe it green
+        suite.host.up_signal.subscribe(
+            lambda _v, name=suite.host.name: self._host_recovered(name))
 
     def register_service(self, service) -> None:
         """Put a distributed service under dummy-user end-to-end watch."""
@@ -157,8 +169,9 @@ class AdministrationServers:
             try:
                 self.pool.write(head, f"/dlsp/{dlsp.hostname}",
                                 dlsp.to_doc().render())
-            except Exception:
-                pass        # pool outage: keep the in-memory copy
+            except Exception as exc:
+                # pool outage: keep the in-memory copy, but observably
+                self._pool_write_failed(head, f"dlsp/{dlsp.hostname}", exc)
 
     # -- the flag watchdog -----------------------------------------------------------------
 
@@ -194,7 +207,10 @@ class AdministrationServers:
                     continue
             stale = self._stale_agents(host, suite, now)
             if not stale:
+                # flags green again: clear the escalation latch so the
+                # next failure of this host is escalated as a new incident
                 self.hosts_escalated.discard(host_name)
+                self._recovered_since.discard(host_name)
                 continue
             stale_hosts += 1
             # "they start troubleshooting intelliagent processes":
@@ -219,10 +235,32 @@ class AdministrationServers:
                 stale.append(agent.name)
         return stale
 
-    def _escalate_host(self, host_name: str, reason: str) -> None:
+    def _host_recovered(self, host_name: str) -> None:
+        """The host booted; if it was escalated, mark the incident as
+        over so a relapse escalates again (fired from ``up_signal``,
+        which also covers flaps too fast for the watchdog to see)."""
         if host_name in self.hosts_escalated:
-            return
+            self._recovered_since.add(host_name)
+
+    def _escalate_host(self, host_name: str, reason: str) -> None:
+        """Local healing failed: relocate if we can, else page a human.
+        One escalation per incident -- a recovery re-arms the latch."""
+        if host_name in self.hosts_escalated:
+            if host_name not in self._recovered_since:
+                return
+            self._recovered_since.discard(host_name)
         self.hosts_escalated.add(host_name)
+        if self.relocator is not None:
+            started = self.relocator.relocate_host(host_name, reason)
+            if started:
+                self._log_pool(f"{self.sim.now:.0f} RELOCATING "
+                               f"{host_name} ({started} service(s)): "
+                               f"{reason}")
+                return
+        self._page_human(host_name, reason)
+
+    def _page_human(self, host_name: str, reason: str) -> None:
+        """The last tier: SMS the on-call administrator."""
         if self.notifications is not None:
             self.notifications.sms(
                 "oncall-admin",
@@ -260,8 +298,8 @@ class AdministrationServers:
                     sub.entries = self.dgspl.services_of_type(app_type)
                     self.pool.write(head, f"/dgspl/{app_type}",
                                     sub.to_doc().render())
-            except Exception:
-                pass
+            except Exception as exc:
+                self._pool_write_failed(head, "dgspl", exc)
 
     def _log_pool(self, line: str) -> None:
         head = self.active()
@@ -269,8 +307,19 @@ class AdministrationServers:
             return
         try:
             self.pool.append(head, "/admin/actions.log", line)
-        except Exception:
-            pass
+        except Exception as exc:
+            self._pool_write_failed(head, "actions.log", exc)
+
+    def _pool_write_failed(self, head, where: str, exc: Exception) -> None:
+        """A degraded shared pool must be observable: count it and leave
+        a syslog line on the acting head (the pool itself is what just
+        refused the write)."""
+        self.pool_write_failures += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("admin.pool_write_failures").inc()
+        head.syslog.warning(self.sim.now, "admin-servers",
+                            f"pool write failed ({where}): {exc}")
 
     # -- queries --------------------------------------------------------------------------------
 

@@ -61,6 +61,11 @@ class ServiceAgent(Intelliagent):
                             "application not installed")]
         if app.state is AppState.STARTING:
             return []       # let it finish; next wake re-checks
+        if app.state is AppState.STOPPED and not app.auto_start:
+            # an idle slot (a spare's cold standby) is stopped on
+            # purpose; it only comes under watch once something (the
+            # relocation orchestrator) starts it
+            return []
         ok, ms, err = app.probe()
         if not ok:
             if err == "timeout" and app.processes_present():

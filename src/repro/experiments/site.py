@@ -53,6 +53,9 @@ class SiteConfig:
     db_servers: int = 100
     tp_servers: int = 55
     fe_servers: int = 60
+    #: warm standbys registered with the relocation tier (idle app
+    #: slots per user-facing tier, templated, cold-startable)
+    spare_servers: int = 0
     agents: bool = True
     agent_period: float = 300.0
     jobs_per_night: int = 40
@@ -96,6 +99,10 @@ class Site:
     admin: Optional[AdministrationServers] = None
     jobmgr: Optional[JobManager] = None
     suites: Dict[str, AgentSuite] = field(default_factory=dict)
+    #: relocation tier (only when spare_servers > 0 and agents on)
+    spares: Optional[object] = None
+    relocator: Optional[object] = None
+    reroute: Optional[object] = None
 
     def run(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
@@ -159,6 +166,21 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
         fe = FrontendApp(host, f"finapp_{host.name}", backend=backend)
         frontends.append(fe)
 
+    # spare servers: powerful boxes with one idle slot per tier, so any
+    # relocatable service has somewhere templated to land
+    for i in range(config.spare_servers):
+        host = dc.add_host(f"sp{i:03d}", "sun-e10k", group="spare")
+        wire(host, "public0" if i % 2 == 0 else "public1")
+        Database(host, f"oracle_{host.name}", db_type="oracle",
+                 auto_start=False)
+        Database(host, f"sybase_{host.name}", db_type="sybase",
+                 auto_start=False)
+        WebServer(host, f"httpd_{host.name}", auto_start=False)
+        FrontendApp(
+            host, f"finapp_{host.name}",
+            backend=databases[i % len(databases)] if databases else None,
+            auto_start=False)
+
     # admin pair + the external feed source
     adm1 = dc.add_host("adm01", "admin-server", group="admin",
                        boot_duration=180.0)
@@ -219,7 +241,8 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
     # -- start applications (rc scripts) ---------------------------------------------
     for host in dc.all_hosts():
         for app in host.apps.values():
-            app.start()
+            if app.auto_start:      # idle spare slots stay cold
+                app.start()
     # let everything reach RUNNING before agents capture their SLKTs
     sim.run(until=sim.now + 400.0)
 
@@ -259,3 +282,18 @@ def _deploy_agents(site: Site) -> None:
         admin.register_service(svc)
     site.jobmgr = JobManager(admin, site.lsf,
                              notifications=site.notifications)
+
+    spare_hosts = dc.group("spare")
+    if spare_hosts:
+        from repro.relocate import (PlacementPlanner, RerouteDirectory,
+                                    ServiceRelocator, SparePool)
+        spares = SparePool(dc)
+        for host in spare_hosts:
+            spares.register(host)
+        reroute = RerouteDirectory(site.nameservice)
+        planner = PlacementPlanner(dc, spares, admin.current_dgspl)
+        relocator = ServiceRelocator(dc, planner, spares, reroute=reroute,
+                                     notifications=site.notifications,
+                                     page_cb=admin._page_human)
+        admin.relocator = relocator
+        site.spares, site.relocator, site.reroute = spares, relocator, reroute

@@ -22,7 +22,7 @@ from repro.ontology.base import (OntologyDoc, OntologyError, decode_list,
                                  encode_list)
 
 __all__ = ["HardwareTemplate", "AppTemplate", "Deviation", "Slkt",
-           "build_slkt"]
+           "build_slkt", "app_template_of"]
 
 
 @dataclass(frozen=True)
@@ -127,6 +127,8 @@ class Slkt:
                                       f"required filesystem {fs_point} "
                                       "unavailable"))
         if not app.is_running():
+            if not tmpl.auto_start and app.state.value == "stopped":
+                return devs        # idle slot: stopped on purpose
             devs.append(Deviation("app-down", tmpl.name,
                                   f"state={app.state.value}"))
             return devs
@@ -204,6 +206,20 @@ class Slkt:
         return cls.from_doc(OntologyDoc.read_from(fs, path))
 
 
+def app_template_of(app) -> AppTemplate:
+    """Capture one live application as its SLKT template (also what the
+    relocation planner feeds the constraint checks)."""
+    return AppTemplate(
+        name=app.name, app_type=app.app_type, version=app.version,
+        port=app.port or 0, binary_path=app.binary_path, user=app.user,
+        processes=tuple((s.command, s.count) for s in app.process_specs),
+        startup_sequence=tuple(s.name for s in app.startup_steps),
+        depends_on=tuple(app.depends_on),
+        filesystems=("/apps", "/logs"),
+        connect_timeout_ms=app.connect_timeout_ms,
+        auto_start=app.auto_start)
+
+
 def build_slkt(host) -> Slkt:
     """Capture a healthy host as its own template ("customised system
     builds for each hardware, operating system and application type").
@@ -214,13 +230,5 @@ def build_slkt(host) -> Slkt:
         max_load=host.spec.max_load)
     slkt = Slkt(host.name, hw)
     for app in host.apps.values():
-        slkt.add_app(AppTemplate(
-            name=app.name, app_type=app.app_type, version=app.version,
-            port=app.port or 0, binary_path=app.binary_path, user=app.user,
-            processes=tuple((s.command, s.count) for s in app.process_specs),
-            startup_sequence=tuple(s.name for s in app.startup_steps),
-            depends_on=tuple(app.depends_on),
-            filesystems=("/apps", "/logs"),
-            connect_timeout_ms=app.connect_timeout_ms,
-            auto_start=app.auto_start))
+        slkt.add_app(app_template_of(app))
     return slkt

@@ -1,0 +1,22 @@
+"""Constraint-based service failover and relocation (``repro.relocate``).
+
+The escalation tier between local self-healing and paging a human: a
+spare-server pool, an SLKT/DGSPL constraint-based placement planner, a
+SimProcess relocation orchestrator (drain -> start -> verify -> cutover
+under a timeout budget), front-door/name-service rerouting, and the
+campaign-level relocation model the year-scale experiments use.
+"""
+
+from repro.relocate.model import (RELOCATABLE, RelocationPolicy,
+                                  RelocationStats, apply_relocation)
+from repro.relocate.orchestrator import RelocationRecord, ServiceRelocator
+from repro.relocate.planner import PlacementPlan, PlacementPlanner
+from repro.relocate.reroute import RerouteDirectory, service_alias
+from repro.relocate.spares import SparePool
+
+__all__ = [
+    "RELOCATABLE", "RelocationPolicy", "RelocationStats",
+    "apply_relocation", "RelocationRecord", "ServiceRelocator",
+    "PlacementPlan", "PlacementPlanner", "RerouteDirectory",
+    "service_alias", "SparePool",
+]

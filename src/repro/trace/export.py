@@ -178,17 +178,25 @@ def format_timeline(tracer: Tracer) -> str:
                           if sp.name == "agent.diagnose"), "")
             lines.append(stamp(inc.diagnosed_at,
                                f"diagnosed: {cause or 'unknown'}"))
+        relocated = False
         for sp in inc.spans:
             if sp.name.startswith("heal."):
                 lines.append(stamp(
                     sp.start,
                     f"{sp.name} {sp.attrs.get('outcome', '?')} "
                     f"(busy {sp.attrs.get('busy_for', 0):.0f} s)"))
+            elif sp.name.startswith("relocate."):
+                relocated = True
+                outcome = sp.attrs.get("outcome")
+                lines.append(stamp(
+                    sp.start,
+                    f"{sp.name} ({sp.end - sp.start:.0f} s)"
+                    + (f" {outcome}" if outcome else "")))
         if inc.restored_at is not None:
             dt = inc.downtime
             dt_s = "" if dt is None else f" (downtime {dt:.0f} s)"
             lines.append(stamp(inc.restored_at, f"service restored{dt_s}"))
-        elif inc.repaired_at is None:
+        elif inc.repaired_at is None and not relocated:
             lines.append("    ...  unresolved in trace window")
     return "\n".join(lines)
 

@@ -60,6 +60,20 @@ class FrontDoor:
     def down_servers(self) -> set:
         return set(self._down)
 
+    # -- relocation cutover --------------------------------------------------
+
+    def replace(self, old_app, new_app) -> bool:
+        """Swap a relocated instance into the server set (the relocation
+        orchestrator's cutover).  Keeps the deterministic name order;
+        False when ``old_app`` is not behind this door."""
+        if old_app not in self.apps:
+            return False
+        self.apps.remove(old_app)
+        if new_app not in self.apps:
+            self.apps.append(new_app)
+            self.apps.sort(key=lambda a: (a.host.name, a.name))
+        return True
+
     # -- routing -------------------------------------------------------------
 
     def _live_apps(self) -> List:

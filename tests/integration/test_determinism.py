@@ -10,7 +10,7 @@ statistics.
 
 import json
 
-from repro.experiments import fig2, userqos
+from repro.experiments import fig2, relocation, userqos
 from repro.sim.calendar import DAY
 
 HORIZON = 45 * DAY
@@ -41,6 +41,27 @@ def test_fig2_same_seed_byte_identical():
 
     assert canon(summary(7)) == canon(summary(7))
     assert canon(summary(7)) != canon(summary(9))
+
+
+def test_relocation_same_seed_byte_identical():
+    a = relocation.run_once(7, horizon=HORIZON,
+                            population=100_000).summary()
+    b = relocation.run_once(7, horizon=HORIZON,
+                            population=100_000).summary()
+    assert canon(a) == canon(b)
+    c = relocation.run_once(8, horizon=HORIZON,
+                            population=100_000).summary()
+    assert canon(a) != canon(c)
+
+
+def test_relocation_serial_and_parallel_replication_agree():
+    seeds = [1, 2, 3]
+    serial = relocation.run_replicated(seeds, horizon=HORIZON,
+                                       population=100_000, parallel=False)
+    pooled = relocation.run_replicated(seeds, horizon=HORIZON,
+                                       population=100_000, parallel=True,
+                                       processes=2)
+    assert canon(serial) == canon(pooled)
 
 
 def test_userqos_serial_and_parallel_replication_agree():

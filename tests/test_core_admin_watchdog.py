@@ -1,0 +1,164 @@
+"""Watchdog and escalation behaviour of the administration servers.
+
+Covers the paper's "monitor the creation of these flags every X+5
+minutes" loop end to end: stale detection at the exact period
+boundary, the SMS page + pool log line when agents go quiet, the
+one-escalation-per-incident latch (including re-arming after a
+recovery and after a flap too fast for the watchdog to observe), and
+the observability of shared-pool write failures.
+"""
+
+import pytest
+
+from repro.cluster.filesystem import FsOfflineError
+from repro.core.admin import AdministrationServers
+from repro.core.flags import FlagStore
+from repro.core.suite import AgentSuite
+from repro.trace import install_tracer
+
+
+@pytest.fixture
+def wired(dc, sim, channel, notifications, pool, database, frontend):
+    """Suites on db01/fe01 under an admin pair (conftest topology)."""
+    admin = AdministrationServers(dc, dc.host("adm01"), dc.host("adm02"),
+                                  pool, channel=channel,
+                                  notifications=notifications)
+    suites = {}
+    for hostname in ("db01", "fe01"):
+        suite = AgentSuite(dc.host(hostname), channel=channel,
+                           admin_targets=["adm01", "adm02"],
+                           notifications=notifications,
+                           deliver_dlsp=admin.receive_dlsp)
+        suites[hostname] = suite
+        admin.register_suite(suite)
+    return admin, suites
+
+
+def _sms_for(notifications, host_name):
+    return [n for n in notifications.sent
+            if n.medium == "sms" and host_name in n.subject]
+
+
+# -- stale detection ---------------------------------------------------------
+
+def test_stale_detection_at_period_boundary(wired, sim, dc):
+    """An agent is stale strictly *after* watch_period since its last
+    flag -- at exactly the boundary it is still considered alive."""
+    admin, suites = wired
+    sim.run(until=sim.now + 1200.0)
+    host = dc.host("db01")
+    suite = suites["db01"]
+    latest = {a.name: FlagStore(host.fs, a.name).latest_time()
+              for a in suite.agents}
+    assert all(t > 0 for t in latest.values())
+
+    at_boundary = min(latest.values()) + admin.watch_period
+    assert admin._stale_agents(host, suite, at_boundary) == sorted(
+        name for name, t in latest.items()
+        if at_boundary - t > admin.watch_period)
+    # the earliest flag is exactly at the boundary: not stale yet
+    assert min(latest, key=latest.get) not in admin._stale_agents(
+        host, suite, at_boundary)
+    # one tick past the boundary it is
+    assert min(latest, key=latest.get) in admin._stale_agents(
+        host, suite, at_boundary + 1.0)
+
+
+def test_quiet_agents_escalate_with_sms_and_pool_log(wired, sim, dc,
+                                                     notifications):
+    """All of a host's agents silenced (cron alive, jobs gone): the
+    watchdog cannot repair crond, so it pages and logs to the pool."""
+    admin, suites = wired
+    sim.run(until=sim.now + 1200.0)
+    host = dc.host("db01")
+    for agent in suites["db01"].agents:
+        host.crond.remove(agent.name)
+    sim.run(until=sim.now + 3 * admin.watch_period)
+    assert "db01" in admin.hosts_escalated
+    pages = _sms_for(notifications, "db01")
+    assert len(pages) == 1
+    assert "agents not flagging" in pages[0].subject
+    log = admin.pool.read(admin.primary, "/admin/actions.log")
+    assert any("ESCALATED db01" in line for line in log)
+
+
+# -- the escalation latch ----------------------------------------------------
+
+def test_escalation_is_one_page_per_incident(wired, sim, dc, notifications):
+    admin, _ = wired
+    sim.run(until=sim.now + 1200.0)
+    dc.host("db01").crash("dead")
+    sim.run(until=sim.now + 5 * admin.watch_period)
+    # many sweeps saw the host down; exactly one page went out
+    assert len(_sms_for(notifications, "db01")) == 1
+
+
+def test_reescalates_after_observed_recovery(wired, sim, dc, notifications):
+    """Down -> page -> recover (flags green again) -> down again is a
+    second incident and pages a second time."""
+    admin, _ = wired
+    sim.run(until=sim.now + 1200.0)
+    host = dc.host("db01")
+    host.crash("dead")
+    sim.run(until=sim.now + 2 * admin.watch_period)
+    assert len(_sms_for(notifications, "db01")) == 1
+    host.boot()
+    # long enough for the boot, fresh flags and a green sweep
+    sim.run(until=sim.now + host.boot_duration + 3 * admin.watch_period)
+    assert "db01" not in admin.hosts_escalated
+    host.crash("dead again")
+    sim.run(until=sim.now + 2 * admin.watch_period)
+    assert len(_sms_for(notifications, "db01")) == 2
+
+
+def test_fast_flap_reescalates_via_up_signal(wired, sim, dc, notifications):
+    """Crash -> boot -> crash again *before any sweep sees the host
+    green*: the boot (up_signal) re-arms the latch, so the relapse is
+    still paged as a new incident."""
+    admin, _ = wired
+    sim.run(until=sim.now + 1200.0)
+    host = dc.host("db01")
+    host.crash("dead")
+    sim.run(until=sim.now + 2 * admin.watch_period)
+    assert len(_sms_for(notifications, "db01")) == 1
+    host.boot()
+    # just past the boot: the host is up but no watchdog sweep has
+    # observed fresh flags (those need a full agent period)
+    sim.run(until=sim.now + host.boot_duration + 5.0)
+    assert host.is_up
+    assert "db01" in admin.hosts_escalated        # latch never cleared
+    host.crash("flapped")
+    sim.run(until=sim.now + 2 * admin.watch_period)
+    assert len(_sms_for(notifications, "db01")) == 2
+
+
+# -- pool-write observability ------------------------------------------------
+
+def test_pool_write_failure_counted_and_logged(wired, sim, dc, monkeypatch):
+    admin, _ = wired
+    tracer = install_tracer(sim)
+
+    def boom(*args, **kwargs):
+        raise FsOfflineError("nfs: server not responding")
+
+    monkeypatch.setattr(admin.pool, "append", boom)
+    admin._log_pool("probe line")
+    assert admin.pool_write_failures == 1
+    recs = admin.primary.syslog.grep(tag="admin-servers",
+                                     contains="pool write failed")
+    assert recs and "actions.log" in recs[-1].message
+    assert tracer.metrics.counter("admin.pool_write_failures").value == 1
+
+
+def test_dlsp_pool_write_failure_keeps_memory_copy(wired, sim, monkeypatch):
+    admin, _ = wired
+    sim.run(until=sim.now + 1000.0)
+    dlsp = admin.dlsps["db01"]
+
+    def boom(*args, **kwargs):
+        raise FsOfflineError("nfs: server not responding")
+
+    monkeypatch.setattr(admin.pool, "write", boom)
+    admin.receive_dlsp(dlsp)
+    assert admin.pool_write_failures == 1
+    assert admin.dlsps["db01"] is dlsp          # in-memory copy survives
