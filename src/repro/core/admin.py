@@ -18,18 +18,45 @@ Duties implemented here:
 - **HA failover** -- both heads run the same cron jobs; only the active
   one (primary if up, else standby) acts.  State lives in the pool, so
   a failover loses nothing.
+
+**Control-plane modes.**  The observation path behind both duties runs
+in one of three modes (``control_plane=``):
+
+- ``"scan"`` -- the paper-faithful full rescan: every sweep reads every
+  agent's flag directory and every DGSPL build walks every DLSP.
+  O(hosts x agents) per cycle; kept as the ``centralised``-style
+  ablation arm.
+- ``"ledger"`` (default) -- the incremental path: flag raises and DLSP
+  arrivals append conditions to the site ledger
+  (:mod:`repro.controlplane`); a sweep consumes only conditions newer
+  than its cursor, staleness comes from the deadline wheel, and only
+  *candidate* hosts (due, down, or latched) are examined.  O(changes).
+- ``"paired"`` -- runs both every cycle, asserts the ledger plan equals
+  the scan plan (``sweep_mismatches`` / ``dgspl_mismatches`` count any
+  divergence) and applies the scan result.  The regression harness for
+  the refactor.
+
+Both watchdog paths produce a *sweep plan* -- an ordered list of
+(action, host, reason) decisions -- through the identical per-host
+judgement; they differ only in which hosts they examine and where the
+flag-freshness numbers come from.  Every planned decision is appended
+to :attr:`decisions`, so two runs of the same campaign in different
+modes can be compared byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.controlplane import ConditionLedger, DeadlineWheel
 from repro.core.flags import FlagStore
 from repro.core.healing import apply_action
-from repro.ontology.dgspl import Dgspl, build_dgspl
+from repro.ontology.dgspl import Dgspl, build_dgspl, host_entries
 from repro.ontology.dlsp import Dlsp
 
 __all__ = ["AdministrationServers"]
+
+_NEG_INF = float("-inf")
 
 
 class AdministrationServers:
@@ -42,7 +69,12 @@ class AdministrationServers:
 
     def __init__(self, dc, primary, standby, pool, *, channel=None,
                  notifications=None, relocator=None,
-                 agent_period: float = 300.0):
+                 agent_period: float = 300.0,
+                 ledger: Optional[ConditionLedger] = None,
+                 control_plane: str = "ledger"):
+        if control_plane not in ("scan", "ledger", "paired"):
+            raise ValueError(
+                f"unknown control plane mode {control_plane!r}")
         self.dc = dc
         self.sim = dc.sim
         self.primary = primary
@@ -56,6 +88,30 @@ class AdministrationServers:
         self.agent_period = float(agent_period)
         #: "every X+5 minutes, where X is the frequency intelliagent run"
         self.watch_period = self.agent_period + 300.0
+
+        self.control_plane = control_plane
+        if ledger is None and control_plane != "scan":
+            ledger = ConditionLedger()
+        self.ledger = ledger
+        self._flag_cursor = (ledger.subscribe("admin-watchdog")
+                             if ledger is not None else None)
+        self._dlsp_cursor = (ledger.subscribe("admin-dgspl")
+                             if ledger is not None else None)
+        #: the evolving model: freshest flag time per (host, agent)
+        self._latest_flags: Dict[Tuple[str, str], float] = {}
+        self._wheel = DeadlineWheel()
+        self._down_hosts: set = set()
+        #: canonical sweep order (suite registration order, which is
+        #: what the full scan iterates) -- both planners emit decisions
+        #: in this order so the logs are comparable byte for byte
+        self._suite_order: Dict[str, int] = {}
+        #: applied-decision log: "t action host reason" per decision
+        self.decisions: List[str] = []
+        self.sweep_mismatches = 0
+        self.dgspl_mismatches = 0
+        self.model_resyncs = 0
+        #: per-host cached DGSPL contributions (ledger mode)
+        self._dgspl_cache: Dict[str, list] = {}
 
         if pool is not None:
             pool.add_server(primary)
@@ -115,12 +171,61 @@ class AdministrationServers:
     # -- registration -----------------------------------------------------------------
 
     def register_suite(self, suite) -> None:
-        self.suites[suite.host.name] = suite
-        self._registered_at[suite.host.name] = self.sim.now
+        host = suite.host
+        self.suites[host.name] = suite
+        self._suite_order[host.name] = len(self._suite_order)
+        registered = self.sim.now
+        self._registered_at[host.name] = registered
         # a boot re-arms the escalation latch even when the host flaps
         # faster than the watchdog can observe it green
-        suite.host.up_signal.subscribe(
-            lambda _v, name=suite.host.name: self._host_recovered(name))
+        host.up_signal.subscribe(
+            lambda _v, name=host.name: self._host_recovered(name))
+        if self.ledger is not None:
+            # bind the suite's flag stores to the ledger (idempotent if
+            # the suite was already built with one) and bootstrap the
+            # model from the flags already on disk
+            for agent in suite.agents:
+                agent.flags.bind(self.ledger, host.name,
+                                 self._flag_reachable)
+                key = (host.name, agent.name)
+                latest = agent.flags.latest_time()
+                self._latest_flags[key] = latest
+                if latest > _NEG_INF:
+                    deadline = latest + self.watch_period
+                else:
+                    # never flagged: first judgeable the moment the
+                    # warm-up grace expires
+                    deadline = (registered + self.watch_period
+                                + self.agent_period)
+                self._wheel.set_deadline(key, deadline)
+            host.up_signal.subscribe(
+                lambda _v, name=host.name: self._host_state(name, True))
+            host.down_signal.subscribe(
+                lambda reason, name=host.name:
+                self._host_state(name, False, str(reason or "")))
+            if not host.is_up:
+                self._down_hosts.add(host.name)
+
+    def _host_state(self, host_name: str, up: bool,
+                    reason: str = "") -> None:
+        if up:
+            self._down_hosts.discard(host_name)
+        else:
+            self._down_hosts.add(host_name)
+        self.ledger.append("host", host_name,
+                           status="up" if up else "down",
+                           time=self.sim.now, detail=reason)
+
+    def _flag_reachable(self, host_name: str) -> bool:
+        """The delivery leg of a flag condition: can the host currently
+        reach either coordinator?  (Without a channel the transport is
+        assumed perfect, as for DLSP delivery.)"""
+        if self.channel is None:
+            return True
+        for head in (self.primary, self.standby):
+            if head.is_up and self.channel.reachable(host_name, head.name):
+                return True
+        return False
 
     def register_service(self, service) -> None:
         """Put a distributed service under dummy-user end-to-end watch."""
@@ -164,6 +269,9 @@ class AdministrationServers:
     def receive_dlsp(self, dlsp: Dlsp) -> None:
         """Called (over the agent channel) by the status agents."""
         self.dlsps[dlsp.hostname] = dlsp
+        if self.ledger is not None:
+            self.ledger.append("dlsp", dlsp.hostname,
+                               time=dlsp.generated_at)
         head = self.active()
         if self.pool is not None and head is not None:
             try:
@@ -180,52 +288,164 @@ class AdministrationServers:
         if head is None:
             return
         now = self.sim.now
+        mode = self.control_plane
         tracer = self.sim.tracer
         sweep_span = tracer.span("admin.flag_sweep", head=head.name,
-                                 hosts=len(self.suites))
-        stale_hosts = 0
+                                 hosts=len(self.suites), mode=mode)
         if tracer.enabled:
             tracer.metrics.counter("admin.flag_sweeps").inc()
+        if mode == "scan":
+            plan = self._plan_sweep_scan(now, head)
+            examined = len(self.suites)
+        else:
+            plan, examined = self._plan_sweep_ledger(now, head)
+            if mode == "paired":
+                scan_plan = self._plan_sweep_scan(now, head)
+                if plan != scan_plan:
+                    self.sweep_mismatches += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter(
+                            "admin.sweep_mismatches").inc()
+                    plan = scan_plan    # full scan is ground truth
+        stale_hosts = self._apply_sweep(now, plan)
+        sweep_span.finish(stale_hosts=stale_hosts, examined=examined,
+                          decisions=len(plan))
+
+    def _judge_host(self, host_name: str, suite, now: float, head,
+                    stale: Optional[List[str]]) -> Optional[tuple]:
+        """The per-host decision, identical for both planners: the
+        caller supplies the stale-agent list from its own source of
+        truth (``None`` means "compute from the flag directories")."""
+        host = self.dc.hosts.get(host_name)
+        if host is None:
+            return None
+        # warm-up: a freshly registered suite has not had a full grid
+        # of wakes yet; judging it stale would be a false alarm
+        registered = self._registered_at.get(host_name, 0.0)
+        if now - registered < self.watch_period + self.agent_period:
+            return None
+        if not host.is_up:
+            return ("escalate", host_name, "host is down")
+        # reach the host over the agent network first
+        if self.channel is not None:
+            d = self.channel.send(head.name, host_name, 256)
+            if not d.ok:
+                return ("escalate", host_name, f"unreachable: {d.error}")
+        if stale is None:
+            stale = self._stale_agents(host, suite, now)
+        if not stale:
+            # flags green again: a latched host gets its escalation
+            # latch cleared so the next failure is a new incident
+            if (host_name in self.hosts_escalated
+                    or host_name in self._recovered_since):
+                return ("clear", host_name, "")
+            return None
+        # "they start troubleshooting intelliagent processes": the
+        # usual cause of *all* flags stopping is a dead cron
+        if len(stale) == len(suite.agents) and not host.crond.running:
+            return ("cron_repair", host_name, "")
+        return ("escalate", host_name,
+                f"agents not flagging: {', '.join(sorted(stale))}")
+
+    def _plan_sweep_scan(self, now: float, head) -> List[tuple]:
+        """The paper-faithful planner: examine every host, read every
+        flag directory.  O(hosts x agents) per sweep."""
+        plan = []
+        for host_name, suite in self.suites.items():
+            decision = self._judge_host(host_name, suite, now, head,
+                                        stale=None)
+            if decision is not None:
+                plan.append(decision)
+        return plan
+
+    def _plan_sweep_ledger(self, now: float, head) -> tuple:
+        """The incremental planner: consume new conditions, then
+        examine only candidate hosts -- due on the deadline wheel,
+        currently down, or still latched.  O(changes)."""
+        conds, overrun = self._flag_cursor.poll()
+        if overrun:
+            self._resync_model(now)
+        for c in conds:
+            if c.kind != "flag":
+                continue
+            key = (c.host, c.agent)
+            if key not in self._latest_flags:
+                continue        # agent not under watch
+            if c.time > self._latest_flags[key]:
+                self._latest_flags[key] = c.time
+                self._wheel.set_deadline(key, c.time + self.watch_period)
+        candidates = {key[0] for key in self._wheel.due(now)}
+        candidates |= self._down_hosts & self.suites.keys()
+        candidates |= self.hosts_escalated
+        candidates |= self._recovered_since
+        order = self._suite_order
+        plan = []
+        for host_name in sorted(candidates,
+                                key=lambda h: order.get(h, 1 << 30)):
+            suite = self.suites.get(host_name)
+            if suite is None:
+                continue
+            stale = [a.name for a in suite.agents
+                     if now - self._latest_flags.get(
+                         (host_name, a.name), _NEG_INF)
+                     > self.watch_period]
+            decision = self._judge_host(host_name, suite, now, head,
+                                        stale=stale)
+            if decision is not None:
+                plan.append(decision)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter("admin.conditions_consumed").inc(
+                len(conds))
+            tracer.metrics.counter("admin.sweep_candidates").inc(
+                len(candidates))
+        return plan, len(candidates)
+
+    def _resync_model(self, now: float) -> None:
+        """Cursor overrun: the ledger was trimmed past us, so deltas
+        are gone.  Rebuild the model from ground truth (one full
+        rescan), then resume incrementally."""
+        self.model_resyncs += 1
         for host_name, suite in self.suites.items():
             host = self.dc.hosts.get(host_name)
             if host is None:
                 continue
-            # warm-up: a freshly registered suite has not had a full
-            # grid of wakes yet; judging it stale would be a false alarm
             registered = self._registered_at.get(host_name, 0.0)
-            if now - registered < self.watch_period + self.agent_period:
-                continue
-            if not host.is_up:
-                self._escalate_host(host_name, "host is down")
-                continue
-            # reach the host over the agent network first
-            if self.channel is not None:
-                d = self.channel.send(head.name, host_name, 256)
-                if not d.ok:
-                    self._escalate_host(host_name,
-                                        f"unreachable: {d.error}")
-                    continue
-            stale = self._stale_agents(host, suite, now)
-            if not stale:
-                # flags green again: clear the escalation latch so the
-                # next failure of this host is escalated as a new incident
+            for agent in suite.agents:
+                key = (host_name, agent.name)
+                latest = FlagStore(host.fs, agent.name).latest_time()
+                self._latest_flags[key] = latest
+                if latest > _NEG_INF:
+                    deadline = latest + self.watch_period
+                else:
+                    deadline = (registered + self.watch_period
+                                + self.agent_period)
+                self._wheel.set_deadline(key, deadline)
+
+    def _apply_sweep(self, now: float, plan: List[tuple]) -> int:
+        stale_hosts = 0
+        tracer = self.sim.tracer
+        for action, host_name, reason in plan:
+            self.decisions.append(
+                f"{now:.0f} {action} {host_name} {reason}".rstrip())
+            if action == "clear":
                 self.hosts_escalated.discard(host_name)
                 self._recovered_since.discard(host_name)
-                continue
-            stale_hosts += 1
-            # "they start troubleshooting intelliagent processes":
-            # the usual cause of *all* flags stopping is a dead cron
-            if len(stale) == len(suite.agents) and not host.crond.running:
+            elif action == "cron_repair":
+                stale_hosts += 1
+                host = self.dc.hosts.get(host_name)
+                if host is None:
+                    continue
                 apply_action("restart_cron", host, "crond")
                 self.cron_repairs += 1
                 if tracer.enabled:
                     tracer.metrics.counter("admin.cron_repairs").inc()
                 self._log_pool(f"{now:.0f} restarted crond on {host_name}")
             else:
-                self._escalate_host(
-                    host_name,
-                    f"agents not flagging: {', '.join(sorted(stale))}")
-        sweep_span.finish(stale_hosts=stale_hosts)
+                if reason.startswith("agents not flagging"):
+                    stale_hosts += 1
+                self._escalate_host(host_name, reason)
+        return stale_hosts
 
     def _stale_agents(self, host, suite, now: float) -> List[str]:
         stale = []
@@ -270,19 +490,63 @@ class AdministrationServers:
 
     # -- DGSPL generation ---------------------------------------------------------------------
 
+    @property
+    def dlsp_freshness_window(self) -> float:
+        return 2 * self.agent_period + 60.0
+
+    def _assemble_dgspl_incremental(self, now: float) -> Dgspl:
+        """Recompute per-host entries only for hosts whose DLSP changed
+        since the last build; assemble the list from the cache.  The
+        iteration order (DLSP arrival order) matches the full rebuild,
+        so the result is byte-identical."""
+        conds, overrun = self._dlsp_cursor.poll()
+        if overrun:
+            dirty = set(self.dlsps)
+        else:
+            dirty = {c.host for c in conds if c.kind == "dlsp"}
+        cache = self._dgspl_cache
+        for host in dirty:
+            dlsp = self.dlsps.get(host)
+            if dlsp is not None:
+                cache[host] = host_entries(dlsp)
+        out = Dgspl(now)
+        window = self.dlsp_freshness_window
+        for host, dlsp in self.dlsps.items():
+            if dlsp.is_fresh(now, window):
+                entries = cache.get(host)
+                if entries is None:     # belt and braces: never stale-serve
+                    entries = cache[host] = host_entries(dlsp)
+                out.entries.extend(entries)
+        return out
+
     def _build_dgspl(self) -> None:
         head = self.active()
         if head is None:
             return
         now = self.sim.now
+        mode = self.control_plane
         tracer = self.sim.tracer
-        build_span = tracer.span("admin.dgspl_build", head=head.name)
-        fresh = [d for d in self.dlsps.values()
-                 if now - d.generated_at <= 2 * self.agent_period + 60.0]
-        self.dgspl = build_dgspl(fresh, now)
+        build_span = tracer.span("admin.dgspl_build", head=head.name,
+                                 mode=mode)
+        if mode == "scan":
+            fresh = [d for d in self.dlsps.values()
+                     if d.is_fresh(now, self.dlsp_freshness_window)]
+            self.dgspl = build_dgspl(fresh, now)
+        else:
+            self.dgspl = self._assemble_dgspl_incremental(now)
+            if mode == "paired":
+                fresh = [d for d in self.dlsps.values()
+                         if d.is_fresh(now, self.dlsp_freshness_window)]
+                full = build_dgspl(fresh, now)
+                if (full.to_doc().render()
+                        != self.dgspl.to_doc().render()):
+                    self.dgspl_mismatches += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter(
+                            "admin.dgspl_mismatches").inc()
+                    self.dgspl = full   # full rebuild is ground truth
         self.dgspl_generations += 1
-        build_span.finish(fresh_dlsps=len(fresh),
-                          entries=len(self.dgspl.entries))
+        build_span.finish(entries=len(self.dgspl.entries))
         if tracer.enabled:
             tracer.metrics.counter("admin.dgspl_builds").inc()
         if self.pool is not None:

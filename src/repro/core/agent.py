@@ -67,7 +67,8 @@ class Intelliagent:
 
     def __init__(self, host, name: str, *, period: float = 300.0,
                  channel=None, admin_targets: Optional[List[str]] = None,
-                 notifications=None, switches: Optional[PartSwitches] = None):
+                 notifications=None, switches: Optional[PartSwitches] = None,
+                 ledger=None):
         self.host = host
         self.sim = host.sim
         self.name = name
@@ -78,7 +79,8 @@ class Intelliagent:
         self.notifications = notifications
         self.parts = switches or PartSwitches()
 
-        self.flags = FlagStore(host.fs, name)
+        self.flags = FlagStore(host.fs, name, ledger=ledger,
+                               host=host.name)
         self.activity = CircularLog(host.fs,
                                     f"/logs/intelliagents/{name}/activity",
                                     maxlen=500)

@@ -11,12 +11,17 @@ did not run at all."
 Flag files are named ``<status>.<timestamp>`` with an optional detail
 payload inside.  The administration servers' watchdog reads freshness;
 humans read the detail; self-maintenance prunes old flags.
+
+A store can additionally be bound to the site's condition ledger
+(:mod:`repro.controlplane`): every successful flag write then also
+appends a ``flag`` condition, which is how the incremental control
+plane learns about agent activity without re-reading the directories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.filesystem import FsError
 
@@ -38,20 +43,40 @@ class Flag:
     status: str
     time: float
     detail: str = ""
+    #: disambiguates flags of the same status raised within the same
+    #: 0.1 s filename bucket (they used to silently overwrite)
+    seq: int = 0
 
     @property
     def filename(self) -> str:
-        return f"{self.status}.{self.time:.1f}"
+        base = f"{self.status}.{self.time:.1f}"
+        return base if self.seq == 0 else f"{base}.{self.seq}"
 
 
 class FlagStore:
     """Reads and writes one agent's flag directory on a host fs."""
 
-    def __init__(self, fs, agent_name: str):
+    def __init__(self, fs, agent_name: str, *, ledger=None,
+                 host: str = "",
+                 transport: Optional[Callable[[str], bool]] = None):
         self.fs = fs
         self.agent = agent_name
         self.dir = f"{FLAG_DIR}/{agent_name}"
+        #: condition-ledger binding (see :meth:`bind`)
+        self.ledger = ledger
+        self.host = host
+        self.transport = transport
         fs.mkdir(self.dir)
+
+    def bind(self, ledger, host: str,
+             transport: Optional[Callable[[str], bool]] = None) -> None:
+        """Attach this store to a site condition ledger.  ``transport``
+        models the delivery leg: called with the host name before each
+        append, a False return drops the condition (the flag file still
+        exists locally -- exactly a partitioned host's behaviour)."""
+        self.ledger = ledger
+        self.host = host
+        self.transport = transport
 
     # -- writing ------------------------------------------------------------
 
@@ -59,8 +84,15 @@ class FlagStore:
         if status not in FLAG_STATUSES:
             raise ValueError(f"unknown flag status {status!r}")
         flag = Flag(self.agent, status, now, detail)
-        self.fs.write(f"{self.dir}/{flag.filename}",
-                      [detail] if detail else [], now=now)
+        path = f"{self.dir}/{flag.filename}"
+        while self.fs.exists(path):
+            flag = Flag(self.agent, status, now, detail, flag.seq + 1)
+            path = f"{self.dir}/{flag.filename}"
+        self.fs.write(path, [detail] if detail else [], now=now)
+        if self.ledger is not None and (
+                self.transport is None or self.transport(self.host)):
+            self.ledger.append("flag", self.host, agent=self.agent,
+                               status=status, time=now, detail=detail)
         return flag
 
     def clear_before(self, cutoff: float) -> int:
@@ -80,14 +112,19 @@ class FlagStore:
 
     @staticmethod
     def _parse_name(path: str) -> Optional[tuple]:
-        """(status, time) straight from the filename -- the hot path
-        never opens the file."""
+        """(status, time, seq) straight from the filename -- the hot
+        path never opens the file."""
         name = path.rsplit("/", 1)[-1]
         status, _, stamp = name.partition(".")
         if status not in FLAG_STATUSES:
             return None
         try:
-            return (status, float(stamp))
+            return (status, float(stamp), 0)
+        except ValueError:
+            pass
+        base, _, seq = stamp.rpartition(".")
+        try:
+            return (status, float(base), int(seq))
         except ValueError:
             return None
 
@@ -95,12 +132,12 @@ class FlagStore:
         parsed = self._parse_name(path)
         if parsed is None:
             return None
-        status, t = parsed
+        status, t, seq = parsed
         try:
             lines = self.fs.read(path)
         except FsError:
             lines = []
-        return Flag(self.agent, status, t, lines[0] if lines else "")
+        return Flag(self.agent, status, t, lines[0] if lines else "", seq)
 
     def flags(self) -> List[Flag]:
         out = []
@@ -108,7 +145,7 @@ class FlagStore:
             flag = self._parse_path(path)
             if flag is not None:
                 out.append(flag)
-        out.sort(key=lambda f: f.time)
+        out.sort(key=lambda f: (f.time, f.seq))
         return out
 
     def latest(self) -> Optional[Flag]:
@@ -116,7 +153,8 @@ class FlagStore:
         best_path: Optional[str] = None
         for path in self.fs.files_in_dir(self.dir):
             parsed = self._parse_name(path)
-            if parsed is not None and (best is None or parsed[1] > best[1]):
+            if parsed is not None and (
+                    best is None or parsed[1:] > best[1:]):
                 best, best_path = parsed, path
         if best_path is None:
             return None

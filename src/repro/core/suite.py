@@ -35,7 +35,7 @@ class AgentSuite:
                  admin_targets: Optional[List[str]] = None,
                  notifications=None, nameservice=None,
                  deliver_dlsp: Optional[Callable] = None,
-                 slkt: Optional[Slkt] = None):
+                 slkt: Optional[Slkt] = None, ledger=None):
         self.host = host
         self.period = float(period)
         #: the host's static template, captured at installation time
@@ -46,7 +46,7 @@ class AgentSuite:
 
         common = dict(period=period, channel=channel,
                       admin_targets=admin_targets,
-                      notifications=notifications)
+                      notifications=notifications, ledger=ledger)
         self.hardware = HardwareAgent(host, **common)
         self.osnet = OsNetworkAgent(host, baselines=self.baselines,
                                     nameservice=nameservice, **common)

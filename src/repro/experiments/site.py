@@ -58,6 +58,9 @@ class SiteConfig:
     spare_servers: int = 0
     agents: bool = True
     agent_period: float = 300.0
+    #: observation path: "ledger" (incremental, default), "scan" (the
+    #: full-rescan ablation arm) or "paired" (both + cross-check)
+    control_plane: str = "ledger"
     jobs_per_night: int = 40
     manual_targeting: bool = True
     with_workload: bool = True
@@ -103,6 +106,8 @@ class Site:
     spares: Optional[object] = None
     relocator: Optional[object] = None
     reroute: Optional[object] = None
+    #: the site condition ledger (None when control_plane == "scan")
+    ledger: Optional[object] = None
 
     def run(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
@@ -258,10 +263,17 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
 def _deploy_agents(site: Site) -> None:
     """Install the intelliagent stack: admin pair, suites, job manager."""
     dc, sim = site.dc, site.sim
+    mode = site.config.control_plane
+    ledger = None
+    if mode != "scan":
+        from repro.controlplane import ConditionLedger
+        ledger = ConditionLedger()
+    site.ledger = ledger
     admin = AdministrationServers(
         dc, dc.host("adm01"), dc.host("adm02"), site.pool,
         channel=site.channel, notifications=site.notifications,
-        agent_period=site.config.agent_period)
+        agent_period=site.config.agent_period,
+        ledger=ledger, control_plane=mode)
     site.admin = admin
     admin_targets = ["adm01", "adm02"]
     for host in dc.all_hosts():
@@ -275,7 +287,8 @@ def _deploy_agents(site: Site) -> None:
                            admin_targets=admin_targets,
                            notifications=site.notifications,
                            nameservice=site.nameservice,
-                           deliver_dlsp=admin.receive_dlsp)
+                           deliver_dlsp=admin.receive_dlsp,
+                           ledger=ledger)
         site.suites[host.name] = suite
         admin.register_suite(suite)
     for svc in site.services:
@@ -290,7 +303,7 @@ def _deploy_agents(site: Site) -> None:
         spares = SparePool(dc)
         for host in spare_hosts:
             spares.register(host)
-        reroute = RerouteDirectory(site.nameservice)
+        reroute = RerouteDirectory(site.nameservice, ledger=ledger)
         planner = PlacementPlanner(dc, spares, admin.current_dgspl)
         relocator = ServiceRelocator(dc, planner, spares, reroute=reroute,
                                      notifications=site.notifications,

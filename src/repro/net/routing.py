@@ -76,6 +76,20 @@ class AgentChannel:
         self.failed += 1
         return Delivery(False, error="unreachable")
 
+    def reachable(self, src_name: str, dst_name: str) -> bool:
+        """Whether a send would currently succeed, without moving any
+        bytes or touching the delivery counters.  The condition-ledger
+        transport uses this to decide if a delta physically arrives."""
+        src = self.dc.hosts.get(src_name)
+        dst = self.dc.hosts.get(dst_name)
+        if src is None or dst is None or not (src.is_up and dst.is_up):
+            return False
+        for lan_name in [self.private_lan] + self.public_lans:
+            lan = self.dc.lans.get(lan_name)
+            if lan is not None and lan.path_ok(src, dst)[0]:
+                return True
+        return False
+
     def broadcast(self, src_name: str, dst_names: List[str],
                   nbytes: int = 2048) -> List[Delivery]:
         return [self.send(src_name, d, nbytes) for d in dst_names]

@@ -21,7 +21,7 @@ from repro.cluster.specs import SPEC_CATALOGUE
 from repro.ontology.base import OntologyDoc, OntologyError
 from repro.ontology.dlsp import Dlsp
 
-__all__ = ["GlobalServiceEntry", "Dgspl", "build_dgspl"]
+__all__ = ["GlobalServiceEntry", "Dgspl", "build_dgspl", "host_entries"]
 
 
 @dataclass(frozen=True)
@@ -139,21 +139,28 @@ class Dgspl:
         return cls.from_doc(OntologyDoc.read_from(fs, path))
 
 
-def build_dgspl(dlsps: Iterable[Dlsp], now: float = 0.0) -> Dgspl:
-    """Aggregate collected DLSPs into the global list.  Only *healthy*
+def host_entries(dlsp: Dlsp) -> List[GlobalServiceEntry]:
+    """One host's contribution to the global list.  Only *healthy*
     services on *up* hosts are "available" -- the whole point is that
-    the shortlist never offers a dead server."""
+    the shortlist never offers a dead server.  The incremental control
+    plane caches this per host and recomputes it only for hosts whose
+    DLSP changed since the last build."""
+    if not dlsp.up:
+        return []
+    return [GlobalServiceEntry(
+        server=dlsp.hostname, server_type=dlsp.model, os=dlsp.os,
+        ram_mb=dlsp.ram_mb, cpus=dlsp.cpus,
+        app_name=svc.name, app_type=svc.app_type,
+        app_version=svc.version, current_load=dlsp.load_avg,
+        users=dlsp.users, location=dlsp.location, site=dlsp.site)
+        for svc in dlsp.services if svc.healthy]
+
+
+def build_dgspl(dlsps: Iterable[Dlsp], now: float = 0.0) -> Dgspl:
+    """Aggregate collected DLSPs into the global list (the full
+    rebuild; the ledger-driven path assembles the same entries from
+    its per-host cache)."""
     out = Dgspl(now)
     for dlsp in dlsps:
-        if not dlsp.up:
-            continue
-        for svc in dlsp.services:
-            if not svc.healthy:
-                continue
-            out.add(GlobalServiceEntry(
-                server=dlsp.hostname, server_type=dlsp.model, os=dlsp.os,
-                ram_mb=dlsp.ram_mb, cpus=dlsp.cpus,
-                app_name=svc.name, app_type=svc.app_type,
-                app_version=svc.version, current_load=dlsp.load_avg,
-                users=dlsp.users, location=dlsp.location, site=dlsp.site))
+        out.entries.extend(host_entries(dlsp))
     return out

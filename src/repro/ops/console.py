@@ -49,7 +49,21 @@ class OperatorConsole:
         self.alarms: Dict[str, Alarm] = {}
         self.cleared: List[Alarm] = []
         self.total_notifications = 0
+        #: condition-ledger feed (per-kind tallies + last seen version)
+        self.condition_counts: Dict[str, int] = {}
+        self.last_condition_version = 0
         channel.subscribe(self._on_notification)
+
+    def attach_ledger(self, ledger) -> None:
+        """Mirror the control-plane condition stream onto the board, so
+        operators see the same deltas the administration servers act
+        on."""
+        ledger.on_append(self._on_condition)
+
+    def _on_condition(self, cond) -> None:
+        self.condition_counts[cond.kind] = (
+            self.condition_counts.get(cond.kind, 0) + 1)
+        self.last_condition_version = cond.version
 
     # -- feed ----------------------------------------------------------------
 
@@ -121,6 +135,11 @@ class OperatorConsole:
         if counters:
             lines.append("  -- site counters: " + "  ".join(
                 f"{k}={v:g}" for k, v in counters))
+        if self.last_condition_version:
+            kinds = "  ".join(f"{k}={self.condition_counts[k]}"
+                              for k in sorted(self.condition_counts))
+            lines.append(f"  -- control plane: "
+                         f"v{self.last_condition_version}  {kinds}")
         return "\n".join(lines)
 
     #: counters worth a line on the operators' pane of glass

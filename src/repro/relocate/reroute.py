@@ -10,6 +10,11 @@ its new home.  Two mechanisms, mirroring how the site actually routes:
 - **name service** (`net.nameservice`): the service alias
   ``svc.<app_name>`` is re-registered to the target host's address, so
   anything that resolves by name lands on the new endpoint.
+
+When built with the site's condition ledger, each phase is also
+published as a ``route`` condition (drain / cutover), so any ledger
+subscriber -- front doors, the ops console -- learns about the move in
+the same delivery that carries agent flags and host transitions.
 """
 
 from __future__ import annotations
@@ -27,8 +32,9 @@ def service_alias(app_name: str) -> str:
 class RerouteDirectory:
     """Everything that must learn about a service's new address."""
 
-    def __init__(self, nameservice=None):
+    def __init__(self, nameservice=None, ledger=None):
         self.nameservice = nameservice
+        self.ledger = ledger
         #: app_type -> front doors spreading demand over that tier
         self.doors: Dict[str, List[object]] = {}
         self.cutovers = 0
@@ -36,6 +42,8 @@ class RerouteDirectory:
 
     def register_door(self, door) -> None:
         self.doors.setdefault(door.app_type, []).append(door)
+        if self.ledger is not None:
+            door.attach_ledger(self.ledger)
 
     def publish(self, app) -> None:
         """Register a service alias for an app at its current host."""
@@ -50,6 +58,9 @@ class RerouteDirectory:
         self.drains += 1
         for door in self.doors.get(app.app_type, ()):
             door.flag_down(app.host.name)
+        if self.ledger is not None:
+            self.ledger.append("route", app.host.name, agent=app.name,
+                               status="drain", detail=app.app_type)
 
     def cutover(self, old_app, new_app) -> None:
         """Point every route at the relocated instance."""
@@ -60,6 +71,10 @@ class RerouteDirectory:
         if self.nameservice is not None:
             ip = next((n.ip for n in new_app.host.nics.values()), "0.0.0.0")
             self.nameservice.register(service_alias(old_app.name), ip)
+        if self.ledger is not None:
+            self.ledger.append("route", new_app.host.name,
+                               agent=old_app.name, status="cutover",
+                               detail=old_app.app_type)
 
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         tiers = sum(len(v) for v in self.doors.values())

@@ -9,6 +9,11 @@ admin pair rebuilds it only every ~15 minutes, so the front door must
 survive gaps), and load aimed at a server that is flagged down is
 shed -- redistributed to live peers, or dropped when none remain
 rather than queued against a corpse.
+
+A door attached to the site's condition ledger reacts to deltas the
+moment they are appended: a ``host down`` condition or a relocation
+``drain`` for this tier sheds the server within that same delivery (no
+refresh wait), ``host up`` / ``cutover`` restore it.
 """
 
 from __future__ import annotations
@@ -40,11 +45,37 @@ class FrontDoor:
         self.staleness = float(staleness)
         self._down: set = set()
         self._rr_offset = 0
+        self._ledgers: List[object] = []
         #: counters for tests/benches
         self.routed = 0
         self.shed_total = 0
         self.rr_batches = 0
         self.weighted_batches = 0
+        self.conditions_applied = 0
+
+    # -- condition-ledger subscription ---------------------------------------
+
+    def attach_ledger(self, ledger) -> None:
+        """Shed/restore servers as conditions are appended, rather than
+        waiting for a sweep or a DGSPL refresh.  Idempotent."""
+        if any(led is ledger for led in self._ledgers):
+            return
+        self._ledgers.append(ledger)
+        ledger.on_append(self._on_condition)
+
+    def _on_condition(self, cond) -> None:
+        if cond.kind == "host":
+            self.conditions_applied += 1
+            if cond.status == "down":
+                self.flag_down(cond.host)
+            elif cond.status == "up":
+                self.flag_up(cond.host)
+        elif cond.kind == "route" and cond.detail == self.app_type:
+            self.conditions_applied += 1
+            if cond.status == "drain":
+                self.flag_down(cond.host)
+            elif cond.status == "cutover":
+                self.flag_up(cond.host)
 
     # -- flag-driven shedding ------------------------------------------------
 

@@ -1,0 +1,101 @@
+"""The paired cross-check: the ledger-driven control plane must make
+exactly the decisions the full rescan makes.
+
+Two angles:
+
+- ``paired`` mode runs both planners inside one site every sweep and
+  every DGSPL build, counting any divergence;
+- separate ``scan`` and ``ledger`` sites driven through an identical
+  fault campaign must produce byte-identical decision logs.
+"""
+
+import pytest
+
+from repro.experiments.site import SiteConfig, build_site
+
+
+def _site(mode):
+    return build_site(SiteConfig.test_scale(
+        seed=29, control_plane=mode, with_workload=False,
+        with_feeds=False))
+
+
+def _campaign(site):
+    """Deterministic faults covering every decision type: a dead crond
+    (cron_repair), a host crash (escalate), a recovery (clear), plus a
+    silenced-but-crond-alive host (escalate: agents not flagging)."""
+    admin = site.admin
+    site.run(1500.0)                        # past warm-up, flags green
+    site.dc.host("db001").crond.kill()      # all agents stop; crond dead
+    site.run(2 * admin.watch_period)
+    fe = site.dc.host("fe001")
+    fe.crash("power supply")                # host down
+    site.run(2 * admin.watch_period)
+    fe.boot()                               # recovery -> clear
+    site.run(fe.boot_duration + 3 * admin.watch_period)
+    db = site.dc.host("db000")
+    for agent in site.suites["db000"].agents:
+        db.crond.remove(agent.name)         # quiet agents, crond alive
+    site.run(3 * admin.watch_period)
+
+
+def test_paired_mode_never_diverges():
+    site = _site("paired")
+    _campaign(site)
+    admin = site.admin
+    assert admin.sweep_mismatches == 0
+    assert admin.dgspl_mismatches == 0
+    assert admin.model_resyncs == 0
+    # the campaign actually produced decisions of every kind
+    actions = {line.split()[1] for line in admin.decisions}
+    assert actions == {"cron_repair", "escalate", "clear"}
+    assert admin.cron_repairs >= 1
+    assert "db000" in admin.hosts_escalated
+
+
+def test_scan_and_ledger_runs_are_byte_identical():
+    scan, ledger = _site("scan"), _site("ledger")
+    _campaign(scan)
+    _campaign(ledger)
+    assert scan.admin.decisions            # non-trivial campaign
+    assert scan.admin.decisions == ledger.admin.decisions
+    assert scan.admin.cron_repairs == ledger.admin.cron_repairs
+    assert scan.admin.hosts_escalated == ledger.admin.hosts_escalated
+    # and the paging behaviour matched decision for decision
+    sms = lambda s: [(n.subject, n.time) for n in s.notifications.sent
+                     if n.medium == "sms"]
+    assert sms(scan) == sms(ledger)
+
+
+def test_ledger_sweeps_examine_only_candidates():
+    """The point of the refactor: a quiet site's sweep touches nobody.
+    Decisions come from the few hosts with conditions, not a rescan."""
+    from repro.trace import install_tracer
+    site = _site("ledger")
+    tracer = install_tracer(site.sim)
+    site.run(1500.0)
+    sweeps = tracer.spans_named("admin.flag_sweep")
+    settled = [s for s in sweeps if s.attrs.get("examined") is not None
+               and s.start > 1200.0]
+    assert settled, "expected post-warm-up sweeps on the record"
+    # healthy steady state: no candidates at all, versus a full scan
+    # which would have examined every registered host every time
+    assert all(s.attrs["examined"] == 0 for s in settled)
+    assert all(s.attrs["mode"] == "ledger" for s in settled)
+
+
+def test_dgspl_identical_across_modes():
+    scan, ledger = _site("scan"), _site("ledger")
+    for s in (scan, ledger):
+        s.run(3700.0)
+    assert scan.admin.dgspl is not None
+    assert (scan.admin.dgspl.to_doc().render()
+            == ledger.admin.dgspl.to_doc().render())
+
+
+def test_scan_site_has_no_ledger():
+    site = _site("scan")
+    assert site.ledger is None
+    assert site.admin.ledger is None
+    site.run(1500.0)
+    assert site.admin.dgspl is not None     # old path still whole

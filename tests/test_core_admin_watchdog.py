@@ -17,12 +17,17 @@ from repro.core.suite import AgentSuite
 from repro.trace import install_tracer
 
 
-@pytest.fixture
-def wired(dc, sim, channel, notifications, pool, database, frontend):
-    """Suites on db01/fe01 under an admin pair (conftest topology)."""
+@pytest.fixture(params=["scan", "ledger", "paired"])
+def wired(request, dc, sim, channel, notifications, pool, database,
+          frontend):
+    """Suites on db01/fe01 under an admin pair (conftest topology),
+    exercised under every control-plane mode -- the watchdog behaviour
+    must be identical whether hosts are found by full rescan or by
+    ledger deltas."""
     admin = AdministrationServers(dc, dc.host("adm01"), dc.host("adm02"),
                                   pool, channel=channel,
-                                  notifications=notifications)
+                                  notifications=notifications,
+                                  control_plane=request.param)
     suites = {}
     for hostname in ("db01", "fe01"):
         suite = AgentSuite(dc.host(hostname), channel=channel,
@@ -31,7 +36,10 @@ def wired(dc, sim, channel, notifications, pool, database, frontend):
                            deliver_dlsp=admin.receive_dlsp)
         suites[hostname] = suite
         admin.register_suite(suite)
-    return admin, suites
+    yield admin, suites
+    # paired mode cross-checks every sweep and every DGSPL build
+    assert admin.sweep_mismatches == 0
+    assert admin.dgspl_mismatches == 0
 
 
 def _sms_for(notifications, host_name):

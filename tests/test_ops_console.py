@@ -109,3 +109,23 @@ def test_board_shows_live_counters_when_traced(console, notifications, sim):
     board = console.board()
     assert "faults.injected=3" in board
     assert "agent.heals_succeeded=2" in board
+
+
+# -- condition-ledger feed ----------------------------------------------------
+
+def test_console_mirrors_the_condition_stream(console):
+    from repro.controlplane import ConditionLedger
+    led = ConditionLedger()
+    console.attach_ledger(led)
+    led.append("flag", "db01", agent="osnet", status="ok")
+    led.append("flag", "db01", agent="osnet", status="fault")
+    led.append("host", "fe01", status="down")
+    assert console.condition_counts == {"flag": 2, "host": 1}
+    assert console.last_condition_version == 3
+    board = console.board(now=0.0)
+    assert "control plane: v3" in board
+    assert "flag=2" in board and "host=1" in board
+
+
+def test_board_without_ledger_has_no_control_plane_line(console):
+    assert "control plane" not in console.board(now=0.0)
