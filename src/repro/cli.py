@@ -13,6 +13,7 @@ artefacts from the terminal:
     repro-exp latency --trace latency.json
     repro-exp mttr
     repro-exp metrics --timeline
+    repro-exp wakes
     repro-exp ablation-frequency
     repro-exp ablation-resubmission
     repro-exp ablation-network
@@ -106,7 +107,32 @@ def _metrics(args) -> str:
     harness.scan_flags_for_detection()
     out = metrics_summary(tracer.metrics.snapshot(),
                           title="Site metrics after a 2 h storm run")
+    out += "\n\n" + _wake_accounting(site)
     return out + _trace_outputs(args, tracer)
+
+
+def _wake_accounting(site) -> str:
+    """Operator-facing wake/skip/missed totals across every suite."""
+    runs = skipped = demand = 0
+    for suite in site.suites.values():
+        totals = suite.totals()
+        runs += totals["runs"]
+        skipped += totals["skipped"]
+        demand += totals["demand_wakes"]
+    missed = sum(job.missed for host in site.dc.all_hosts()
+                 for job in host.crond.jobs.values())
+    return ("Wake accounting\n"
+            f"  agent runs         {runs}\n"
+            f"  runs skipped       {skipped}\n"
+            f"  demand wakes       {demand}\n"
+            f"  cron grid missed   {missed}\n"
+            f"  wake policy        {site.config.wake_policy}")
+
+
+def _wakes(args) -> str:
+    """The adaptive-vs-fixed wake A/B on a healthy fleet."""
+    from repro.experiments import wakes
+    return wakes.format_result(wakes.run(seed=args.seed))
 
 
 def _make_tracer(args):
@@ -173,6 +199,7 @@ _EXPERIMENTS = {
     "latency": _latency,
     "mttr": _mttr,
     "metrics": _metrics,
+    "wakes": _wakes,
     "ablation-frequency": _ablation_frequency,
     "ablation-resubmission": _ablation_resubmission,
     "ablation-network": _ablation_network,

@@ -31,6 +31,7 @@ class CronJob:
     enabled: bool = True
     runs: int = 0
     missed: int = 0             # grid points skipped (host/crond down)
+    demand_runs: int = 0        # off-grid wakes via demand_wake()
     last_run: Optional[float] = None
 
 
@@ -67,6 +68,37 @@ class Crond:
     def enable(self, name: str, enabled: bool = True) -> None:
         self.jobs[name].enabled = enabled
 
+    def set_period(self, name: str, period: float) -> None:
+        """Rewrite a job's period in place (the adaptive wake policy).
+        The job re-arms onto the *new* absolute grid immediately."""
+        if period <= 0:
+            raise ValueError(f"cron period must be positive: {period!r}")
+        job = self.jobs[name]
+        if job.period == period:
+            return
+        job.period = float(period)
+        if name in self._events:
+            self._arm(job)
+
+    def demand_wake(self, name: str) -> bool:
+        """Fire a job *now*, off the grid; its next wake re-arms back
+        onto the absolute grid.  Returns False when the job cannot run
+        (unknown/disabled job, dead crond, host down)."""
+        job = self.jobs.get(name)
+        if (job is None or not self.running or not self.host.is_up
+                or not job.enabled):
+            return False
+        ev = self._events.get(name)
+        if ev is not None and ev.time <= self.sim.now:
+            return True         # a wake is already due this instant
+        job.demand_runs += 1
+        # scheduled (not called inline) so a trigger raised mid-run of
+        # another agent never re-enters this one's run() on the stack
+        self._events[name] = self.sim.schedule(0.0, self._fire, name)
+        if ev is not None:
+            ev.cancel()
+        return True
+
     # -- daemon lifecycle ------------------------------------------------------
 
     def kill(self) -> None:
@@ -87,6 +119,11 @@ class Crond:
     # -- firing ------------------------------------------------------------------
 
     def _arm(self, job: CronJob) -> None:
+        # defensive: never leave two armed events for one job (a
+        # set_period inside the job's own run already re-armed it)
+        ev = self._events.pop(job.name, None)
+        if ev is not None:
+            ev.cancel()
         t = next_grid(self.sim.now, job.period, job.offset)
         self._events[job.name] = self.sim.schedule_at(t, self._fire, job.name)
 
@@ -102,6 +139,9 @@ class Crond:
             job.fn()
         else:
             job.missed += 1
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.metrics.counter("cron.missed").inc()
         self._arm(job)
 
     def next_fire(self, name: str) -> float:

@@ -93,6 +93,9 @@ class ProcessTable:
         self._by_command: Dict[str, List[SimProc]] = {}
         self._pids = itertools.count(100)
         self._last_advance = 0.0
+        #: live taps (the trigger bus): called per individual kill;
+        #: a host crash wipes the table via clear() without notifying
+        self.exit_listeners: List[Callable[[SimProc], None]] = []
 
     def __len__(self) -> int:
         return len(self._procs)
@@ -124,6 +127,8 @@ class ProcessTable:
                 pass
             if not peers:
                 del self._by_command[proc.command]
+        for fn in list(self.exit_listeners):
+            fn(proc)
         return True
 
     def kill_command(self, command: str) -> int:

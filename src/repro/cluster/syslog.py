@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional
+from typing import Callable, Deque, Iterable, List, Optional
 
 __all__ = ["SyslogRecord", "Syslog", "SEVERITIES"]
 
@@ -36,6 +36,11 @@ class Syslog:
     def __init__(self, maxlen: int = 20000):
         self.records: Deque[SyslogRecord] = deque(maxlen=maxlen)
         self.total_logged = 0
+        #: live taps (the trigger bus): called synchronously per record
+        self.listeners: List[Callable[[SyslogRecord], None]] = []
+
+    def subscribe(self, fn: Callable[[SyslogRecord], None]) -> None:
+        self.listeners.append(fn)
 
     def log(self, time: float, facility: str, severity: str, tag: str,
             message: str) -> SyslogRecord:
@@ -44,6 +49,8 @@ class Syslog:
         rec = SyslogRecord(time, facility, severity, tag, message)
         self.records.append(rec)
         self.total_logged += 1
+        for fn in list(self.listeners):
+            fn(rec)
         return rec
 
     # convenience severities ------------------------------------------------

@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 __all__ = ["Condition", "ConditionLedger", "LedgerCursor", "watch_host"]
 
 #: condition kinds appended by the current producers
-KINDS = ("flag", "dlsp", "host", "route")
+KINDS = ("flag", "dlsp", "host", "route", "wake")
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ class Condition:
     """One typed delta in the site's evolving model."""
 
     version: int
-    kind: str           # "flag" | "dlsp" | "host" | "route"
+    kind: str           # "flag" | "dlsp" | "host" | "route" | "wake"
     host: str
     agent: str = ""     # flag: agent name; route: app name
     status: str = ""    # flag status / "up"/"down" / "drain"/"cutover"

@@ -88,6 +88,19 @@ class AdministrationServers:
         self.agent_period = float(agent_period)
         #: "every X+5 minutes, where X is the frequency intelliagent run"
         self.watch_period = self.agent_period + 300.0
+        #: slack added to an agent's *current* wake interval before its
+        #: flags count as stale.  With fixed-period agents the staleness
+        #: gap (interval + grace) equals ``watch_period`` exactly, which
+        #: is the pre-adaptive contract; adaptive agents publish their
+        #: interval through the ledger so backed-off hosts are not
+        #: falsely judged quiet.
+        self.flag_grace = 300.0
+        #: published wake interval per (host, agent); absent means the
+        #: configured base period
+        self._intervals: Dict[Tuple[str, str], float] = {}
+        #: hosts knocked with a demand wake, awaiting the verdict sweep
+        self._demand_woken: Dict[str, float] = {}
+        self.demand_wakes = 0
 
         self.control_plane = control_plane
         if ledger is None and control_plane != "scan":
@@ -190,8 +203,12 @@ class AdministrationServers:
                 key = (host.name, agent.name)
                 latest = agent.flags.latest_time()
                 self._latest_flags[key] = latest
+                period = getattr(getattr(agent, "wake", None),
+                                 "current_period", self.agent_period)
+                if period != self.agent_period:
+                    self._intervals[key] = period
                 if latest > _NEG_INF:
-                    deadline = latest + self.watch_period
+                    deadline = latest + period + self.flag_grace
                 else:
                     # never flagged: first judgeable the moment the
                     # warm-up grace expires
@@ -337,15 +354,20 @@ class AdministrationServers:
             # flags green again: a latched host gets its escalation
             # latch cleared so the next failure is a new incident
             if (host_name in self.hosts_escalated
-                    or host_name in self._recovered_since):
+                    or host_name in self._recovered_since
+                    or host_name in self._demand_woken):
                 return ("clear", host_name, "")
             return None
         # "they start troubleshooting intelliagent processes": the
         # usual cause of *all* flags stopping is a dead cron
         if len(stale) == len(suite.agents) and not host.crond.running:
             return ("cron_repair", host_name, "")
-        return ("escalate", host_name,
-                f"agents not flagging: {', '.join(sorted(stale))}")
+        reason = f"agents not flagging: {', '.join(sorted(stale))}"
+        # first offence gets a troubleshooting knock: demand-wake the
+        # complement and give it one sweep to flag before escalating
+        if host_name not in self._demand_woken:
+            return ("demand_wake", host_name, reason)
+        return ("escalate", host_name, reason)
 
     def _plan_sweep_scan(self, now: float, head) -> List[tuple]:
         """The paper-faithful planner: examine every host, read every
@@ -366,6 +388,9 @@ class AdministrationServers:
         if overrun:
             self._resync_model(now)
         for c in conds:
+            if c.kind == "wake":
+                self._note_wake_condition(c)
+                continue
             if c.kind != "flag":
                 continue
             key = (c.host, c.agent)
@@ -373,11 +398,13 @@ class AdministrationServers:
                 continue        # agent not under watch
             if c.time > self._latest_flags[key]:
                 self._latest_flags[key] = c.time
-                self._wheel.set_deadline(key, c.time + self.watch_period)
+                self._wheel.set_deadline(key,
+                                         c.time + self._ledger_gap(key))
         candidates = {key[0] for key in self._wheel.due(now)}
         candidates |= self._down_hosts & self.suites.keys()
         candidates |= self.hosts_escalated
         candidates |= self._recovered_since
+        candidates |= self._demand_woken.keys() & self.suites.keys()
         order = self._suite_order
         plan = []
         for host_name in sorted(candidates,
@@ -388,7 +415,7 @@ class AdministrationServers:
             stale = [a.name for a in suite.agents
                      if now - self._latest_flags.get(
                          (host_name, a.name), _NEG_INF)
-                     > self.watch_period]
+                     > self._ledger_gap((host_name, a.name))]
             decision = self._judge_host(host_name, suite, now, head,
                                         stale=stale)
             if decision is not None:
@@ -400,6 +427,37 @@ class AdministrationServers:
             tracer.metrics.counter("admin.sweep_candidates").inc(
                 len(candidates))
         return plan, len(candidates)
+
+    def _live_gap(self, agent) -> float:
+        """Staleness gap from the agent's live wake controller (the
+        scan path's source of truth).  Agents without one -- fixtures,
+        stubs -- judge at the configured base period."""
+        period = getattr(getattr(agent, "wake", None), "current_period",
+                         self.agent_period)
+        return period + self.flag_grace
+
+    def _ledger_gap(self, key: Tuple[str, str]) -> float:
+        """Staleness gap from the published interval model (the ledger
+        path's source of truth)."""
+        return self._intervals.get(key, self.agent_period) + self.flag_grace
+
+    def _note_wake_condition(self, c) -> None:
+        """An agent published its wake interval: widen (or narrow) that
+        agent's staleness gap and re-set its deadline accordingly."""
+        if c.status != "interval":
+            return              # "demand" markers are audit-only
+        key = (c.host, c.agent)
+        if key not in self._latest_flags:
+            return              # agent not under watch
+        try:
+            interval = float(c.detail)
+        except ValueError:
+            return
+        self._intervals[key] = interval
+        latest = self._latest_flags[key]
+        if latest > _NEG_INF:
+            self._wheel.set_deadline(key,
+                                     latest + interval + self.flag_grace)
 
     def _resync_model(self, now: float) -> None:
         """Cursor overrun: the ledger was trimmed past us, so deltas
@@ -415,8 +473,14 @@ class AdministrationServers:
                 key = (host_name, agent.name)
                 latest = FlagStore(host.fs, agent.name).latest_time()
                 self._latest_flags[key] = latest
+                period = getattr(getattr(agent, "wake", None),
+                                 "current_period", self.agent_period)
+                if period != self.agent_period:
+                    self._intervals[key] = period
+                else:
+                    self._intervals.pop(key, None)
                 if latest > _NEG_INF:
-                    deadline = latest + self.watch_period
+                    deadline = latest + period + self.flag_grace
                 else:
                     deadline = (registered + self.watch_period
                                 + self.agent_period)
@@ -431,6 +495,21 @@ class AdministrationServers:
             if action == "clear":
                 self.hosts_escalated.discard(host_name)
                 self._recovered_since.discard(host_name)
+                self._demand_woken.pop(host_name, None)
+            elif action == "demand_wake":
+                stale_hosts += 1
+                self._demand_woken[host_name] = now
+                self.demand_wakes += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("admin.demand_wakes").inc()
+                if self.ledger is not None:
+                    self.ledger.append("wake", host_name, status="demand",
+                                       time=now, detail=reason)
+                suite = self.suites.get(host_name)
+                wake_all = getattr(suite, "demand_wake_all", None)
+                woken = wake_all() if wake_all is not None else 0
+                self._log_pool(f"{now:.0f} DEMAND-WAKE {host_name} "
+                               f"({woken} agent(s)): {reason}")
             elif action == "cron_repair":
                 stale_hosts += 1
                 host = self.dc.hosts.get(host_name)
@@ -451,7 +530,7 @@ class AdministrationServers:
         stale = []
         for agent in suite.agents:
             latest = FlagStore(host.fs, agent.name).latest_time()
-            if now - latest > self.watch_period:
+            if now - latest > self._live_gap(agent):
                 stale.append(agent.name)
         return stale
 
@@ -492,7 +571,27 @@ class AdministrationServers:
 
     @property
     def dlsp_freshness_window(self) -> float:
+        """The base-period window (kept for callers that want the
+        configured floor; per-host staleness uses :meth:`_dlsp_window`)."""
         return 2 * self.agent_period + 60.0
+
+    def _status_interval(self, host_name: str) -> float:
+        """The status agent's current wake interval for a host: the
+        published value in ledger modes, the live controller otherwise."""
+        if self.ledger is not None:
+            return self._intervals.get((host_name, "status"),
+                                       self.agent_period)
+        suite = self.suites.get(host_name)
+        wake = getattr(getattr(suite, "status", None), "wake", None)
+        if wake is not None:
+            return wake.current_period
+        return self.agent_period
+
+    def _dlsp_window(self, host_name: str) -> float:
+        """A backed-off status agent ships profiles less often; its
+        host's DLSP stays serveable for two of *its* intervals, not two
+        base periods, so quiescent-but-healthy hosts keep their routes."""
+        return 2.0 * self._status_interval(host_name) + 60.0
 
     def _assemble_dgspl_incremental(self, now: float) -> Dgspl:
         """Recompute per-host entries only for hosts whose DLSP changed
@@ -503,16 +602,22 @@ class AdministrationServers:
         if overrun:
             dirty = set(self.dlsps)
         else:
-            dirty = {c.host for c in conds if c.kind == "dlsp"}
+            dirty = set()
+            for c in conds:
+                if c.kind == "dlsp":
+                    dirty.add(c.host)
+                elif c.kind == "wake":
+                    # interval publications change freshness windows;
+                    # both cursors consume them (idempotent)
+                    self._note_wake_condition(c)
         cache = self._dgspl_cache
         for host in dirty:
             dlsp = self.dlsps.get(host)
             if dlsp is not None:
                 cache[host] = host_entries(dlsp)
         out = Dgspl(now)
-        window = self.dlsp_freshness_window
         for host, dlsp in self.dlsps.items():
-            if dlsp.is_fresh(now, window):
+            if dlsp.is_fresh(now, self._dlsp_window(host)):
                 entries = cache.get(host)
                 if entries is None:     # belt and braces: never stale-serve
                     entries = cache[host] = host_entries(dlsp)
@@ -530,13 +635,13 @@ class AdministrationServers:
                                  mode=mode)
         if mode == "scan":
             fresh = [d for d in self.dlsps.values()
-                     if d.is_fresh(now, self.dlsp_freshness_window)]
+                     if d.is_fresh(now, self._dlsp_window(d.hostname))]
             self.dgspl = build_dgspl(fresh, now)
         else:
             self.dgspl = self._assemble_dgspl_incremental(now)
             if mode == "paired":
                 fresh = [d for d in self.dlsps.values()
-                         if d.is_fresh(now, self.dlsp_freshness_window)]
+                         if d.is_fresh(now, self._dlsp_window(d.hostname))]
                 full = build_dgspl(fresh, now)
                 if (full.to_doc().render()
                         != self.dgspl.to_doc().render()):

@@ -28,6 +28,7 @@ from repro.core.healing import ActionResult, apply_action
 from repro.core.parts import Finding, PartSwitches
 from repro.core.reasoning import Diagnosis, RuleEngine
 from repro.metrics.circular_log import CircularLog
+from repro.wake import WakePolicy
 
 __all__ = ["Intelliagent", "RunStats"]
 
@@ -54,6 +55,7 @@ class RunStats:
     heals_attempted: int = 0
     heals_succeeded: int = 0
     escalations: int = 0
+    demand_wakes: int = 0
     cpu_seconds: float = 0.0
 
 
@@ -68,12 +70,18 @@ class Intelliagent:
     def __init__(self, host, name: str, *, period: float = 300.0,
                  channel=None, admin_targets: Optional[List[str]] = None,
                  notifications=None, switches: Optional[PartSwitches] = None,
-                 ledger=None):
+                 ledger=None, wake_policy: str = "fixed",
+                 wake_max_period: float = 1800.0):
         self.host = host
         self.sim = host.sim
         self.name = name
         self.command = f"ia_{name}"
         self.period = float(period)
+        #: adaptive wake controller; "fixed" keeps the paper's rigid
+        #: grid (and the exact pre-refactor behaviour) for A/B runs
+        self.wake = WakePolicy(self.period, mode=wake_policy,
+                               max_period=max(float(wake_max_period),
+                                              self.period))
         self.channel = channel
         self.admin_targets = list(admin_targets or ())
         self.notifications = notifications
@@ -89,6 +97,9 @@ class Intelliagent:
         self.stats = RunStats()
         self._proc = None
         self._busy_until = 0.0
+        #: last wake interval the control plane saw (base is implicit);
+        #: re-offered every run until the transport accepts it
+        self._published_interval = self.period
         #: per-subject consecutive failed heal attempts
         self._attempts: Dict[str, int] = {}
         #: subjects we already escalated (reset when healthy again)
@@ -130,6 +141,7 @@ class Intelliagent:
         if tracer.enabled:
             tracer.metrics.counter("agent.runs").inc()
         busy = 0.0
+        findings: List[Finding] = []
         run_span = tracer.span("agent.run", agent=self.name,
                                host=self.host.name, category=self.category)
         try:
@@ -190,6 +202,59 @@ class Intelliagent:
                 self.sim.schedule(busy, self._end_proc)
             else:
                 self._end_proc()
+            self._adapt_period(found=bool(findings))
+
+    # -- adaptive wakes ---------------------------------------------------------------
+
+    def demand_wake(self, trigger=None) -> bool:
+        """Wake now, off the grid (trigger bus or admin watchdog).  The
+        wake policy snaps back to base first, so whatever caused the
+        wake gets watched at full frequency afterwards."""
+        if not self.host.is_up:
+            return False
+        self.wake.note_trigger()
+        self._apply_period()
+        ok = self.host.crond.demand_wake(self.name)
+        if ok:
+            self.stats.demand_wakes += 1
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.metrics.counter("agent.demand_wakes").inc()
+        return ok
+
+    def _adapt_period(self, found: bool) -> None:
+        """End of a wake: feed the outcome to the policy and re-arm the
+        cron job when the interval moved."""
+        if found:
+            self.wake.note_findings()
+        else:
+            self.wake.note_clean()
+        self._apply_period()
+
+    def _apply_period(self) -> None:
+        period = self.wake.current_period
+        crond = self.host.crond
+        job = crond.jobs.get(self.name)
+        if job is not None and job.period != period:
+            crond.set_period(self.name, period)
+        if period != self._published_interval:
+            self._publish_interval(period)
+
+    def _publish_interval(self, period: float) -> None:
+        """Tell the control plane the expected wake interval changed,
+        so the watchdog's staleness contract tracks the adaptive period
+        instead of silently loosening.  Rides the same transport gate
+        as flags; an undelivered change is re-offered next run."""
+        store = self.flags
+        if store.ledger is None:
+            self._published_interval = period
+            return
+        if store.transport is not None and not store.transport(store.host):
+            return              # partitioned: retry on a later wake
+        store.ledger.append("wake", store.host, agent=self.name,
+                            status="interval", time=self.sim.now,
+                            detail=repr(period))
+        self._published_interval = period
 
     # -- part implementations -----------------------------------------------------------
 

@@ -16,12 +16,16 @@ from typing import Callable, List, Optional
 
 from repro.core.agent import Intelliagent
 from repro.core.parts import Finding
-from repro.ontology.dlsp import Dlsp, build_dlsp
+from repro.ontology.dlsp import Dlsp, DlspBuilder, build_dlsp
 
 __all__ = ["StatusAgent"]
 
 DLSP_DIR = "/logs/intelliagents/dlsp"
 DLSP_RETENTION = 3600.0     # keep an hour of profiles locally
+
+#: every Nth profile is also built the exhaustive way and compared --
+#: a live self-check that the incremental cache never drifts
+FULL_REBUILD_EVERY = 8
 
 
 class StatusAgent(Intelliagent):
@@ -37,7 +41,9 @@ class StatusAgent(Intelliagent):
         self.deliver = deliver
         self.profiles_built = 0
         self.profiles_delivered = 0
+        self.rebuild_mismatches = 0
         super().__init__(host, "status", **kw)
+        self._builder = DlspBuilder(host)
         host.fs.mkdir(DLSP_DIR)
 
     # status agents report, they do not repair
@@ -48,8 +54,18 @@ class StatusAgent(Intelliagent):
         self.build_and_ship()
 
     def build_and_ship(self) -> Optional[Dlsp]:
-        dlsp = build_dlsp(self.host)
+        dlsp = self._builder.build()
         self.profiles_built += 1
+        if self.profiles_built % FULL_REBUILD_EVERY == 0:
+            full = build_dlsp(self.host)
+            if full.to_doc().render() != dlsp.to_doc().render():
+                self.rebuild_mismatches += 1
+                self._builder.invalidate()
+                dlsp = full     # ground truth wins
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.metrics.counter(
+                        "status.rebuild_mismatches").inc()
         path = f"{DLSP_DIR}/{self.host.name}.{self.sim.now:.0f}"
         try:
             dlsp.write_to(self.host.fs, path)

@@ -24,6 +24,7 @@ from repro.core.service_agent import ServiceAgent
 from repro.core.status_agent import StatusAgent
 from repro.core.thresholds import Baselines
 from repro.ontology.slkt import Slkt, build_slkt
+from repro.wake import TriggerBus
 
 __all__ = ["AgentSuite"]
 
@@ -35,9 +36,12 @@ class AgentSuite:
                  admin_targets: Optional[List[str]] = None,
                  notifications=None, nameservice=None,
                  deliver_dlsp: Optional[Callable] = None,
-                 slkt: Optional[Slkt] = None, ledger=None):
+                 slkt: Optional[Slkt] = None, ledger=None,
+                 wake_policy: str = "fixed",
+                 wake_max_period: float = 1800.0):
         self.host = host
         self.period = float(period)
+        self.wake_policy = wake_policy
         #: the host's static template, captured at installation time
         #: from the known-good build
         self.slkt = slkt or build_slkt(host)
@@ -46,7 +50,9 @@ class AgentSuite:
 
         common = dict(period=period, channel=channel,
                       admin_targets=admin_targets,
-                      notifications=notifications, ledger=ledger)
+                      notifications=notifications, ledger=ledger,
+                      wake_policy=wake_policy,
+                      wake_max_period=wake_max_period)
         self.hardware = HardwareAgent(host, **common)
         self.osnet = OsNetworkAgent(host, baselines=self.baselines,
                                     nameservice=nameservice, **common)
@@ -63,6 +69,12 @@ class AgentSuite:
             self.service_agents[app_name] = agent
             self.agents.append(agent)
         self._stagger()
+        #: host-local trigger bus (adaptive wakes only: the fixed grid
+        #: is the A/B baseline and must keep pre-refactor behaviour)
+        self.triggers: Optional[TriggerBus] = None
+        if wake_policy == "adaptive":
+            self.triggers = TriggerBus(host)
+            self._wire_triggers()
 
     def _stagger(self) -> None:
         """Spread wakes across the grid; keeps each agent's detection
@@ -74,11 +86,38 @@ class AgentSuite:
                                      offset=offset)
             agent.cron_job = self.host.crond.jobs[agent.name]
 
+    def _wire_triggers(self) -> None:
+        """Route each host-local signal class to the agents that own
+        that aspect.  Predicates run in subscription order; dispatch is
+        a demand-wake, de-bounced by the bus's per-agent cooldown."""
+        bus = self.triggers
+        bus.attach_syslog(min_severity="err")
+        bus.watch_process_exits()
+        for app in self.host.apps.values():
+            bus.watch_app(app)
+        bus.subscribe(self.hardware,
+                      lambda t: t.kind == "syslog" and t.facility == "kern")
+        bus.subscribe(self.osnet, lambda t: t.kind == "syslog")
+        bus.subscribe(self.resource,
+                      lambda t: t.kind in ("proc_exit", "threshold"))
+        bus.subscribe(self.perf,
+                      lambda t: t.kind in ("threshold",)
+                      or (t.kind == "state" and t.detail == "degraded"))
+        bus.subscribe(self.status,
+                      lambda t: t.kind in ("state", "proc_exit"))
+        for app_name, agent in self.service_agents.items():
+            bus.subscribe(agent, lambda t, name=app_name: t.subject == name)
+
     # -- manual drive (tests, examples) ------------------------------------------
 
     def run_all_now(self) -> None:
         for agent in self.agents:
             agent.run()
+
+    def demand_wake_all(self) -> int:
+        """The admin watchdog's troubleshooting knock: wake the whole
+        complement now.  Returns how many agents accepted the wake."""
+        return sum(1 for agent in self.agents if agent.demand_wake())
 
     # -- Figures 3/4 accounting -------------------------------------------------------
 
@@ -101,7 +140,7 @@ class AgentSuite:
     def totals(self) -> Dict[str, float]:
         out = {"runs": 0, "skipped": 0, "faults_found": 0,
                "heals_attempted": 0, "heals_succeeded": 0,
-               "escalations": 0, "cpu_seconds": 0.0}
+               "escalations": 0, "demand_wakes": 0, "cpu_seconds": 0.0}
         for a in self.agents:
             s = a.stats
             out["runs"] += s.runs
@@ -110,6 +149,7 @@ class AgentSuite:
             out["heals_attempted"] += s.heals_attempted
             out["heals_succeeded"] += s.heals_succeeded
             out["escalations"] += s.escalations
+            out["demand_wakes"] += s.demand_wakes
             out["cpu_seconds"] += s.cpu_seconds
         return out
 

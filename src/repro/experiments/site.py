@@ -61,6 +61,11 @@ class SiteConfig:
     #: observation path: "ledger" (incremental, default), "scan" (the
     #: full-rescan ablation arm) or "paired" (both + cross-check)
     control_plane: str = "ledger"
+    #: wake scheduling: "adaptive" (default: healthy agents back their
+    #: period off toward ``wake_max_period``, triggers snap them back)
+    #: or "fixed" (the pre-adaptive grid, the A/B baseline)
+    wake_policy: str = "adaptive"
+    wake_max_period: float = 1800.0
     jobs_per_night: int = 40
     manual_targeting: bool = True
     with_workload: bool = True
@@ -288,7 +293,9 @@ def _deploy_agents(site: Site) -> None:
                            notifications=site.notifications,
                            nameservice=site.nameservice,
                            deliver_dlsp=admin.receive_dlsp,
-                           ledger=ledger)
+                           ledger=ledger,
+                           wake_policy=site.config.wake_policy,
+                           wake_max_period=site.config.wake_max_period)
         site.suites[host.name] = suite
         admin.register_suite(suite)
     for svc in site.services:

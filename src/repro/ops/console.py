@@ -145,6 +145,8 @@ class OperatorConsole:
     #: counters worth a line on the operators' pane of glass
     _BOARD_COUNTERS = ("faults.injected", "agent.faults_found",
                        "agent.heals_succeeded", "agent.escalations",
+                       "agent.skipped", "agent.demand_wakes",
+                       "admin.demand_wakes", "cron.missed",
                        "jobmgr.resubmitted", "admin.cron_repairs")
 
     def _live_counters(self) -> List[tuple]:

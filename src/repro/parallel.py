@@ -5,22 +5,44 @@ hpc-parallel guides the fan-out uses ``ProcessPoolExecutor`` with one
 task per seed (each task is seconds of work, so per-task overhead is
 negligible) and falls back to in-process execution when the pool is
 unavailable (sandboxes, restricted environments) or for tiny batches.
+
+A replication that *raises* is a finding, not an infrastructure
+failure: the exception is re-raised as :class:`ReplicationError`
+carrying the offending seed, identically on the pool and serial paths,
+so a campaign crash is reproducible with ``fn(err.seed)``.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["replicate", "default_workers"]
+__all__ = ["ReplicationError", "replicate", "default_workers"]
+
+
+class ReplicationError(Exception):
+    """One replication raised; ``seed`` reproduces it deterministically."""
+
+    def __init__(self, seed: int, cause: BaseException):
+        super().__init__(f"replication failed for seed {seed}: {cause!r}")
+        self.seed = seed
+        self.cause = cause
 
 
 def default_workers() -> int:
     cpus = os.cpu_count() or 1
     return max(1, cpus - 1)
+
+
+def _call(fn: Callable[[int], T], seed: int) -> T:
+    try:
+        return fn(seed)
+    except Exception as exc:
+        raise ReplicationError(seed, exc) from exc
 
 
 def replicate(fn: Callable[[int], T], seeds: Sequence[int], *,
@@ -30,15 +52,28 @@ def replicate(fn: Callable[[int], T], seeds: Sequence[int], *,
 
     ``fn`` must be a module-level (picklable) callable.  Results come
     back in seed order.  Falls back to serial execution for small
-    batches or when worker processes cannot be spawned.
+    batches or when worker processes cannot be spawned.  A failing
+    replication raises :class:`ReplicationError` with the seed, on
+    either path.
     """
     seeds = list(seeds)
     workers = processes if processes is not None else default_workers()
     if len(seeds) < min_parallel or workers <= 1:
-        return [fn(s) for s in seeds]
+        return [_call(fn, s) for s in seeds]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as ex:
-            return list(ex.map(fn, seeds))
+            futures = [(s, ex.submit(fn, s)) for s in seeds]
+            results = []
+            for seed, fut in futures:
+                try:
+                    results.append(fut.result())
+                except BrokenProcessPool:
+                    # pool infrastructure died, not fn: serial fallback
+                    raise
+                except Exception as exc:
+                    raise ReplicationError(seed, exc) from exc
+            return results
     except (OSError, PermissionError, RuntimeError):
         # restricted environment: do the work here instead
-        return [fn(s) for s in seeds]
+        # (ReplicationError deliberately escapes this net)
+        return [_call(fn, s) for s in seeds]

@@ -1,0 +1,20 @@
+"""Adaptive, event-triggered agent wakes.
+
+The paper's intelliagents are "awakened every X minutes ... by local
+crons" -- a fixed grid that prices every healthy host the same as a
+sick one and floors detection latency at ~period/2.  This package keeps
+the cron grid as the safety net but makes it adaptive:
+
+- :class:`WakePolicy` -- a per-agent controller: clean runs back the
+  wake period off multiplicatively (base -> max) so healthy hosts go
+  quiescent; any finding, heal or trigger snaps it back to base.
+- :class:`TriggerBus` -- bridges host-local signals (syslog lines at or
+  above a severity threshold, process exits, application state flips,
+  threshold crossings) into immediate demand-wakes of the subscribed
+  agents, so detection no longer waits out the grid.
+"""
+
+from repro.wake.policy import WakePolicy
+from repro.wake.triggers import Trigger, TriggerBus
+
+__all__ = ["WakePolicy", "Trigger", "TriggerBus"]

@@ -29,8 +29,11 @@ def test_fast_path_detection_matches_cron_grid_bound():
 
 
 def test_full_fidelity_detection_within_fast_path_bound():
+    # the fast path models cron-grid detection, so hold the fixed wake
+    # policy against it (adaptive triggers detect faster than the grid)
     site = build_site(SiteConfig.test_scale(seed=23, with_feeds=False,
-                                            with_workload=False))
+                                            with_workload=False,
+                                            wake_policy="fixed"))
     harness = FidelityHarness(site)
     latencies = []
     for k in range(6):
@@ -54,7 +57,8 @@ def test_full_fidelity_repair_times_match_campaign_profile():
     """The campaign's MID_CRASH auto-repair mean (8 min) should be of
     the same order as real restart-based healing in full fidelity."""
     site = build_site(SiteConfig.test_scale(seed=29, with_feeds=False,
-                                            with_workload=False))
+                                            with_workload=False,
+                                            wake_policy="fixed"))
     harness = FidelityHarness(site)
     durations = []
     for k in range(4):

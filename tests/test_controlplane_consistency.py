@@ -14,16 +14,18 @@ import pytest
 from repro.experiments.site import SiteConfig, build_site
 
 
-def _site(mode):
+def _site(mode, wake="adaptive"):
     return build_site(SiteConfig.test_scale(
         seed=29, control_plane=mode, with_workload=False,
-        with_feeds=False))
+        with_feeds=False, wake_policy=wake))
 
 
 def _campaign(site):
     """Deterministic faults covering every decision type: a dead crond
     (cron_repair), a host crash (escalate), a recovery (clear), plus a
-    silenced-but-crond-alive host (escalate: agents not flagging)."""
+    silenced-but-crond-alive host (demand-wake knock, then escalate).
+    Windows are generous enough for backed-off adaptive agents, whose
+    staleness gap can reach wake_max_period + flag grace."""
     admin = site.admin
     site.run(1500.0)                        # past warm-up, flags green
     site.dc.host("db001").crond.kill()      # all agents stop; crond dead
@@ -36,11 +38,12 @@ def _campaign(site):
     db = site.dc.host("db000")
     for agent in site.suites["db000"].agents:
         db.crond.remove(agent.name)         # quiet agents, crond alive
-    site.run(3 * admin.watch_period)
+    site.run(site.config.wake_max_period + 5 * admin.watch_period)
 
 
-def test_paired_mode_never_diverges():
-    site = _site("paired")
+@pytest.mark.parametrize("wake", ["fixed", "adaptive"])
+def test_paired_mode_never_diverges(wake):
+    site = _site("paired", wake)
     _campaign(site)
     admin = site.admin
     assert admin.sweep_mismatches == 0
@@ -48,13 +51,15 @@ def test_paired_mode_never_diverges():
     assert admin.model_resyncs == 0
     # the campaign actually produced decisions of every kind
     actions = {line.split()[1] for line in admin.decisions}
-    assert actions == {"cron_repair", "escalate", "clear"}
+    assert actions == {"cron_repair", "escalate", "clear", "demand_wake"}
     assert admin.cron_repairs >= 1
+    assert admin.demand_wakes >= 1
     assert "db000" in admin.hosts_escalated
 
 
-def test_scan_and_ledger_runs_are_byte_identical():
-    scan, ledger = _site("scan"), _site("ledger")
+@pytest.mark.parametrize("wake", ["fixed", "adaptive"])
+def test_scan_and_ledger_runs_are_byte_identical(wake):
+    scan, ledger = _site("scan", wake), _site("ledger", wake)
     _campaign(scan)
     _campaign(ledger)
     assert scan.admin.decisions            # non-trivial campaign

@@ -64,7 +64,9 @@ def test_flag_scan_stamps_detection(rig):
     harness.scan_flags_for_detection()
     inc = harness.ledger.closed()[-1]
     assert inc.detected_at is not None
-    assert 0 < inc.detection_latency <= site.config.agent_period + 30
+    # adaptive wakes can detect at the crash instant (trigger-driven
+    # demand wake), so zero latency is legitimate
+    assert 0 <= inc.detection_latency <= site.config.agent_period + 30
 
 
 def test_run_hours_advances_clock(rig):

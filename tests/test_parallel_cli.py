@@ -2,11 +2,17 @@
 
 import pytest
 
-from repro.parallel import default_workers, replicate
+from repro.parallel import ReplicationError, default_workers, replicate
 
 
 def _square(seed: int) -> int:
     return seed * seed
+
+
+def _boom(seed: int) -> int:
+    if seed == 3:
+        raise ValueError(f"bad draw at {seed}")
+    return seed
 
 
 def test_replicate_serial_small_batch():
@@ -22,6 +28,23 @@ def test_replicate_parallel_preserves_order():
 def test_replicate_single_worker_is_serial():
     assert replicate(_square, list(range(6)), processes=1) == [
         s * s for s in range(6)]
+
+
+def test_serial_failure_reports_offending_seed():
+    with pytest.raises(ReplicationError) as err:
+        replicate(_boom, [1, 2, 3, 4], processes=1)
+    assert err.value.seed == 3
+    assert isinstance(err.value.cause, ValueError)
+
+
+def test_pool_failure_reports_same_seed_as_serial():
+    """The two execution paths must blame the identical seed."""
+    with pytest.raises(ReplicationError) as pool_err:
+        replicate(_boom, list(range(8)), min_parallel=2)
+    with pytest.raises(ReplicationError) as serial_err:
+        replicate(_boom, list(range(8)), processes=1)
+    assert pool_err.value.seed == serial_err.value.seed == 3
+    assert "seed 3" in str(pool_err.value)
 
 
 def test_default_workers_positive():
