@@ -14,6 +14,7 @@ artefacts from the terminal:
     repro-exp mttr
     repro-exp metrics --timeline
     repro-exp wakes
+    repro-exp incidents --json incidents.json --markdown incidents.md
     repro-exp ablation-frequency
     repro-exp ablation-resubmission
     repro-exp ablation-network
@@ -24,6 +25,11 @@ artefacts from the terminal:
 ``chrome://tracing`` or Perfetto) and ``--timeline`` appends the
 flat-ASCII per-fault incident timeline; both apply to the experiments
 that drive a live site (``latency``, ``metrics``).
+
+``incidents`` runs an observed fault storm (telemetry hub, burn-rate
+pages, causal post-mortems); ``--json FILE`` / ``--markdown FILE``
+write the full incident reports as machine- and human-readable
+artefacts.
 """
 
 from __future__ import annotations
@@ -135,6 +141,27 @@ def _wakes(args) -> str:
     return wakes.format_result(wakes.run(seed=args.seed))
 
 
+def _incidents(args) -> str:
+    """Observed fault storm -> burn-rate pages -> incident reports."""
+    import json
+
+    from repro.experiments import incidents
+    result = incidents.run(seed=args.seed, population=args.population)
+    out = incidents.format_result(result)
+    path = getattr(args, "json_out", None)
+    if path:
+        with open(path, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out += f"\n[incident reports written to {path}]"
+    path = getattr(args, "markdown", None)
+    if path:
+        with open(path, "w") as fh:
+            fh.write(result.to_markdown())
+        out += f"\n[markdown post-mortems written to {path}]"
+    return out
+
+
 def _make_tracer(args):
     """A tracer when any trace output was asked for, else None (the
     experiment then creates its own, or runs untraced)."""
@@ -200,6 +227,7 @@ _EXPERIMENTS = {
     "mttr": _mttr,
     "metrics": _metrics,
     "wakes": _wakes,
+    "incidents": _incidents,
     "ablation-frequency": _ablation_frequency,
     "ablation-resubmission": _ablation_resubmission,
     "ablation-network": _ablation_network,
@@ -227,6 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "run (latency, mttr, metrics)")
     parser.add_argument("--timeline", action="store_true",
                         help="print the flat-ASCII incident timeline")
+    parser.add_argument("--json", dest="json_out", metavar="FILE",
+                        default=None,
+                        help="write incident reports + reconciliation "
+                             "as JSON (incidents)")
+    parser.add_argument("--markdown", metavar="FILE", default=None,
+                        help="write rendered markdown post-mortems "
+                             "(incidents)")
     args = parser.parse_args(argv)
 
     names = (sorted(_EXPERIMENTS) if args.experiment == "all"

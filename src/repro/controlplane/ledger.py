@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 __all__ = ["Condition", "ConditionLedger", "LedgerCursor", "watch_host"]
 
 #: condition kinds appended by the current producers
-KINDS = ("flag", "dlsp", "host", "route", "wake")
+KINDS = ("flag", "dlsp", "host", "route", "wake", "alert")
 
 
 @dataclass(frozen=True)

@@ -120,6 +120,10 @@ class AdministrationServers:
         self._suite_order: Dict[str, int] = {}
         #: applied-decision log: "t action host reason" per decision
         self.decisions: List[str] = []
+        #: the same log as typed records (time, action, host, reason)
+        #: for the incident-report joiner; the string form above stays
+        #: byte-comparable across control-plane modes
+        self.decision_log: List[Tuple[float, str, str, str]] = []
         self.sweep_mismatches = 0
         self.dgspl_mismatches = 0
         self.model_resyncs = 0
@@ -492,6 +496,7 @@ class AdministrationServers:
         for action, host_name, reason in plan:
             self.decisions.append(
                 f"{now:.0f} {action} {host_name} {reason}".rstrip())
+            self.decision_log.append((now, action, host_name, reason))
             if action == "clear":
                 self.hosts_escalated.discard(host_name)
                 self._recovered_since.discard(host_name)

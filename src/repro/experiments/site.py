@@ -73,6 +73,13 @@ class SiteConfig:
     #: probability a well-placed job crashes its database (the hazard
     #: multiplies steeply with overload; see Database.crash_hazard_multiplier)
     crash_coupling: float = 0.012
+    #: deploy the observability tier (telemetry hub + alert manager);
+    #: off by default -- it subscribes to the ledger and schedules a
+    #: rollup tick, which the parity/determinism experiments must not
+    #: see
+    observe: bool = False
+    #: telemetry rollup period, seconds
+    observe_interval: float = 60.0
     seed: int = 0
 
     @classmethod
@@ -113,6 +120,10 @@ class Site:
     reroute: Optional[object] = None
     #: the site condition ledger (None when control_plane == "scan")
     ledger: Optional[object] = None
+    #: observability tier (config.observe): the telemetry hub and the
+    #: alert manager riding its rollups
+    telemetry: Optional[object] = None
+    alerts: Optional[object] = None
 
     def run(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
@@ -258,6 +269,8 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
 
     if config.agents:
         _deploy_agents(site)
+    if config.observe:
+        _deploy_observability(site)
     if workload is not None:
         workload.start()
     for feed in feeds:
@@ -317,3 +330,23 @@ def _deploy_agents(site: Site) -> None:
                                      page_cb=admin._page_human)
         admin.relocator = relocator
         site.spares, site.relocator, site.reroute = spares, relocator, reroute
+
+
+def _deploy_observability(site: Site) -> None:
+    """Install the telemetry hub + alert manager (config.observe).
+
+    The hub rides the condition ledger (when one exists) and whatever
+    metrics registry the installed tracer carries; traffic SLIs join
+    later -- experiments that attach an engine call
+    ``site.telemetry.attach_slis(engine.slis)``.
+    """
+    from repro.observe import AlertManager, TelemetryHub
+    hub = TelemetryHub(site.sim, interval=site.config.observe_interval)
+    if site.ledger is not None:
+        hub.attach_ledger(site.ledger)
+    manager = AlertManager(site.sim, hub, channel=site.notifications)
+    if site.ledger is not None:
+        manager.attach_ledger(site.ledger)
+    hub.start()
+    site.telemetry = hub
+    site.alerts = manager

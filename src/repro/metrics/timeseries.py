@@ -9,6 +9,7 @@ magnitude; see the hpc-parallel guides).
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -17,10 +18,23 @@ __all__ = ["TimeSeries", "merge_by_timestamp"]
 
 
 class TimeSeries:
-    """An append-friendly (timestamp, value) series."""
+    """An append-friendly (timestamp, value) series.
 
-    def __init__(self, name: str = ""):
+    With ``maxlen`` the series keeps ring-buffer semantics: only the
+    newest ``maxlen`` samples are retained.  Trimming is amortised --
+    the backing lists are sliced in blocks once they reach twice the
+    cap, so appends stay O(1) amortised while the telemetry rollup
+    loop appends to hundreds of series every tick.
+    """
+
+    def __init__(self, name: str = "", maxlen: Optional[int] = None):
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen!r}")
         self.name = name
+        self.maxlen = maxlen
+        #: samples dropped by the ring cap (windows reaching further
+        #: back than the retained history should know they are clipped)
+        self.dropped = 0
         self._t: List[float] = []
         self._v: List[float] = []
         # list->ndarray conversion is O(n); campaign aggregations read
@@ -35,8 +49,33 @@ class TimeSeries:
                 f"timestamps must be non-decreasing ({t} < {self._t[-1]})")
         self._t.append(float(t))
         self._v.append(float(value))
+        if self.maxlen is not None and len(self._t) >= 2 * self.maxlen:
+            cut = len(self._t) - self.maxlen
+            del self._t[:cut]
+            del self._v[:cut]
+            self.dropped += cut
         self._t_arr = None
         self._v_arr = None
+
+    def last(self) -> float:
+        """Newest value (0.0 on an empty series)."""
+        return self._v[-1] if self._v else 0.0
+
+    def last_time(self) -> float:
+        """Newest timestamp (-inf on an empty series)."""
+        return self._t[-1] if self._t else float("-inf")
+
+    def value_at(self, t: float) -> float:
+        """Value of the newest sample with timestamp <= ``t``.
+
+        Falls back to the oldest retained sample when ``t`` predates
+        the (possibly ring-trimmed) history, and 0.0 on an empty
+        series -- the lookup burn-rate windows use for "cumulative
+        count as of ``now - window``"."""
+        if not self._t:
+            return 0.0
+        i = bisect.bisect_right(self._t, t) - 1
+        return self._v[max(0, i)]
 
     def __len__(self) -> int:
         return len(self._t)

@@ -1,0 +1,119 @@
+"""Self-observability: who is the kernel spending wall-clock on?
+
+The simulator's hot loop hands every fired event to
+:meth:`KernelProfiler.record`, which buckets real (``perf_counter``)
+time and event counts by the *owner* of the callback -- the
+:class:`~repro.sim.kernel.SimProcess` subclass or component class a
+bound method belongs to, else the defining module.  That attribution
+is what the ROADMAP's sharded-kernel work will be measured against:
+before sharding anything, know which subsystem the events belong to.
+
+Cost model: ``sim.profiler`` is ``None`` by default and the kernel
+dispatches events directly (one hoisted ``is None`` check per event);
+with the profiler attached each event pays two ``perf_counter`` calls
+and one dict upsert.  ``bench_observe_overhead.py`` keeps both numbers
+honest.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+__all__ = ["KernelProfiler", "install_profiler", "format_profile"]
+
+
+def _owner_key(fn) -> str:
+    """Attribution bucket for a callback: the class of the object a
+    bound method lives on, else the defining module's leaf name."""
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        return type(owner).__name__
+    mod = getattr(fn, "__module__", "") or "?"
+    return mod.rpartition(".")[2]
+
+
+class KernelProfiler:
+    """Wall-clock and event-count attribution per callback owner."""
+
+    __slots__ = ("wall", "events", "started_at")
+
+    def __init__(self):
+        self.wall: Dict[str, float] = {}
+        self.events: Dict[str, int] = {}
+        self.started_at = perf_counter()
+
+    def record(self, fn, args: tuple) -> None:
+        """Run one event callback under the stopwatch."""
+        # no fn->key memo: bound-method objects are ephemeral, so an
+        # id()-keyed cache could alias a recycled id to the wrong
+        # owner.  _owner_key is two getattrs and a split -- cheap
+        # enough to pay per event on the profiled (opt-in) path.
+        key = _owner_key(fn)
+        t0 = perf_counter()
+        try:
+            fn(*args)
+        finally:
+            dt = perf_counter() - t0
+            if key in self.wall:
+                self.wall[key] += dt
+                self.events[key] += 1
+            else:
+                self.wall[key] = dt
+                self.events[key] = 1
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+    @property
+    def total_wall(self) -> float:
+        return sum(self.wall.values())
+
+    def report(self) -> List[Tuple[str, float, int, float]]:
+        """``(owner, wall_seconds, events, events_per_sec)`` rows,
+        costliest owner first."""
+        rows = []
+        for key, wall in self.wall.items():
+            n = self.events[key]
+            rows.append((key, wall, n, (n / wall) if wall > 0 else 0.0))
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {key: {"wall_s": wall, "events": self.events[key]}
+                for key, wall in sorted(self.wall.items())}
+
+    def reset(self) -> None:
+        self.wall.clear()
+        self.events.clear()
+        self.started_at = perf_counter()
+
+
+def install_profiler(sim) -> KernelProfiler:
+    """Attach a fresh profiler to a simulator (next ``run()`` picks it
+    up) and return it."""
+    prof = KernelProfiler()
+    sim.profiler = prof
+    return prof
+
+
+def format_profile(profiler: KernelProfiler, *, top: int = 12) -> str:
+    """The attribution table in the repo's flat-ASCII report idiom."""
+    rows = profiler.report()
+    total = profiler.total_wall
+    lines = [f"KERNEL PROFILE  ({profiler.total_events} events, "
+             f"{total * 1e3:.1f} ms attributed)"]
+    if not rows:
+        lines.append("  (no events recorded)")
+    for key, wall, n, eps in rows[:top]:
+        share = (wall / total * 100.0) if total > 0 else 0.0
+        lines.append(f"  {key:<28s} {wall * 1e3:9.2f} ms  {share:5.1f}%  "
+                     f"{n:>9d} ev  {eps:>12.0f} ev/s")
+    if len(rows) > top:
+        rest = sum(r[1] for r in rows[top:])
+        lines.append(f"  ... {len(rows) - top} more owner(s), "
+                     f"{rest * 1e3:.2f} ms")
+    return "\n".join(lines)

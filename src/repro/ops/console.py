@@ -52,6 +52,8 @@ class OperatorConsole:
         #: condition-ledger feed (per-kind tallies + last seen version)
         self.condition_counts: Dict[str, int] = {}
         self.last_condition_version = 0
+        #: live alert feed (repro.observe.alerts.AlertManager)
+        self.alert_manager = None
         channel.subscribe(self._on_notification)
 
     def attach_ledger(self, ledger) -> None:
@@ -64,6 +66,10 @@ class OperatorConsole:
         self.condition_counts[cond.kind] = (
             self.condition_counts.get(cond.kind, 0) + 1)
         self.last_condition_version = cond.version
+
+    def attach_alerts(self, manager) -> None:
+        """Show the alerting tier's firing alerts as a board pane."""
+        self.alert_manager = manager
 
     # -- feed ----------------------------------------------------------------
 
@@ -131,6 +137,17 @@ class OperatorConsole:
             rep = f" x{a.count}" if a.count > 1 else ""
             lines.append(f"  [{a.severity.upper():<8s}] {a.subject}"
                          f"{rep}  ({age_min:.0f} min){ack}")
+        if self.alert_manager is not None:
+            firing = self.alert_manager.firing()
+            lines.append(f"  -- alerts: {len(firing)} firing, "
+                         f"{self.alert_manager.pages_sent} page(s) sent")
+            for alert in firing:
+                age_min = (now - (alert.fired_at or now)) / 60.0
+                fid = f" [{alert.fault_id}]" if alert.fault_id else ""
+                lines.append(f"  [{alert.severity.upper():<8s}] "
+                             f"{alert.subject}{fid}  "
+                             f"({age_min:.0f} min, "
+                             f"value {alert.value:.1f})")
         counters = self._live_counters()
         if counters:
             lines.append("  -- site counters: " + "  ".join(

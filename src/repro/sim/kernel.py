@@ -275,6 +275,11 @@ class Simulator:
         #: observability hook; the shared disabled tracer by default so
         #: instrumented components can call it unconditionally
         self.tracer = NULL_TRACER
+        #: self-observability hook (repro.observe.profile.KernelProfiler);
+        #: None keeps the dispatch a direct call -- the hot loop hoists
+        #: this once per run, so attaching mid-run takes effect at the
+        #: next run()/step() boundary
+        self.profiler = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -323,7 +328,10 @@ class Simulator:
             self.events_processed += 1
             if self.tracer.enabled:
                 self.tracer.metrics.counter("sim.events").inc()
-            ev.fn(*ev.args)
+            if self.profiler is None:
+                ev.fn(*ev.args)
+            else:
+                self.profiler.record(ev.fn, ev.args)
             return True
         return False
 
@@ -344,6 +352,7 @@ class Simulator:
         # hoisted per-run: keeps the disabled-tracer loop branch-only
         count_event = (self.tracer.metrics.counter("sim.events").inc
                        if self.tracer.enabled else None)
+        profiler = self.profiler
         try:
             while heap and budget > 0:
                 ev = heap[0]
@@ -359,7 +368,10 @@ class Simulator:
                 budget -= 1
                 if count_event is not None:
                     count_event()
-                ev.fn(*ev.args)
+                if profiler is None:
+                    ev.fn(*ev.args)
+                else:
+                    profiler.record(ev.fn, ev.args)
         finally:
             self._running = False
         if until is not None and self.now < until:

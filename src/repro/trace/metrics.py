@@ -98,10 +98,27 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate q-quantile by linear interpolation inside the
         containing bucket.  The overflow bucket reports its lower bound
-        (the histogram does not know how far the tail reaches)."""
+        (the histogram does not know how far the tail reaches).
+
+        Every in-range ``q`` has a defined value: an empty histogram
+        answers 0.0, ``q=0`` the lower bound of the first occupied
+        bucket and ``q=1`` the upper bound of the last one -- the
+        alerting tier probes these extremes on freshly-created series,
+        so none of them may raise."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q!r}")
         if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            for i, c in enumerate(self.counts):
+                if c:
+                    return self.bounds[i - 1] if i > 0 else 0.0
+            return 0.0
+        if q == 1.0:
+            for i in range(len(self.counts) - 1, -1, -1):
+                if self.counts[i]:
+                    return (self.bounds[-1] if i >= len(self.bounds)
+                            else self.bounds[i])
             return 0.0
         target = q * self.count
         cum = 0

@@ -27,7 +27,25 @@ from repro.sim.calendar import HOUR, MINUTE, is_business_hours, is_weekend
 from repro.trace.metrics import Histogram
 
 __all__ = ["LATENCY_BUCKETS_MS", "Sli", "Slo", "SloStatus",
-           "IncidentWindow", "QosOutcome", "join_demand"]
+           "IncidentWindow", "QosOutcome", "join_demand", "burn_rate"]
+
+
+def burn_rate(attempted: float, bad: float, objective: float) -> float:
+    """Error-budget burn rate of a traffic slice.
+
+    1.0 = failing exactly at the pace ``objective`` allows; 14.4 on a
+    99.9% objective = the classic "2% of a 30-day budget in one hour".
+    Defined for every input: no traffic burns nothing, and a zero
+    budget with failures burns infinitely fast.  The alerting tier
+    calls this on short rolling windows, where ``SloStatus`` (which
+    carries a full Slo) would be overkill.
+    """
+    if attempted <= 0:
+        return 0.0
+    budget = (1.0 - objective) * attempted
+    if budget <= 0:
+        return 0.0 if bad <= 0 else float("inf")
+    return bad / budget
 
 #: latency histogram bucket upper bounds in milliseconds: from cheap
 #: cache hits up to the connect timeouts the apps enforce

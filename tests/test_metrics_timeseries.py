@@ -115,3 +115,70 @@ def test_window_of_cached_series_is_consistent():
     assert w.times.tolist() == [0.0, 10.0]
     w.append(30.0, 4.0)
     assert w.times.tolist() == [0.0, 10.0, 30.0]
+
+
+# -- ring-buffer semantics ----------------------------------------------------
+
+
+def test_ring_cap_keeps_newest_and_counts_dropped():
+    ts = TimeSeries("x", maxlen=4)
+    for i in range(20):
+        ts.append(float(i), float(i) * 2.0)
+    # amortised trim: between maxlen and 2*maxlen samples retained
+    assert 4 <= len(ts) < 8
+    assert ts.dropped == 20 - len(ts)
+    assert ts.last() == 38.0
+    assert ts.times.tolist() == sorted(ts.times.tolist())
+
+
+def test_ring_cap_validated():
+    with pytest.raises(ValueError):
+        TimeSeries("x", maxlen=0)
+
+
+def test_last_and_last_time_on_empty():
+    ts = TimeSeries("x")
+    assert ts.last() == 0.0
+    assert ts.last_time() == float("-inf")
+
+
+def test_value_at_steps_and_clamps():
+    ts = _ts("x", [(10, 1.0), (20, 2.0), (30, 3.0)])
+    assert ts.value_at(25.0) == 2.0      # newest sample <= t
+    assert ts.value_at(20.0) == 2.0
+    assert ts.value_at(5.0) == 1.0       # before history: oldest
+    assert ts.value_at(99.0) == 3.0
+    assert TimeSeries("y").value_at(0.0) == 0.0
+
+
+# -- empty-series edges (the alerting tier probes fresh series) ---------------
+
+
+def test_empty_series_percentile_window_resample():
+    ts = TimeSeries("x")
+    assert ts.percentile(50) == 0.0
+    assert len(ts.window(0.0, 100.0)) == 0
+    starts, means = ts.resample(60.0)
+    assert starts.size == 0 and means.size == 0
+    assert ts.breaches(1.0).size == 0
+
+
+# -- merge ordering and tie-breaking ------------------------------------------
+
+
+def test_merge_output_keeps_base_timestamp_order():
+    a = _ts("a", [(0, 1.0), (5, 2.0), (10, 3.0), (15, 4.0)])
+    b = _ts("b", [(0, 9.0), (5, 8.0), (10, 7.0), (15, 6.0)])
+    merged = merge_by_timestamp([a, b])
+    assert merged["t"].tolist() == sorted(merged["t"].tolist())
+    assert merged["a"].tolist() == [1.0, 2.0, 3.0, 4.0]
+    assert merged["b"].tolist() == [9.0, 8.0, 7.0, 6.0]
+
+
+def test_merge_equidistant_neighbour_prefers_the_earlier():
+    # base t=10 sits exactly between partner samples at 8 and 12
+    a = _ts("a", [(10, 1.0)])
+    b = _ts("b", [(8, 100.0), (12, 200.0)])
+    merged = merge_by_timestamp([a, b], tolerance=2.0)
+    assert merged["t"].tolist() == [10.0]
+    assert merged["b"].tolist() == [100.0]

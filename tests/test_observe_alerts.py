@@ -1,0 +1,187 @@
+"""Unit tests for the alerting tier: burn-rate math, the EWMA
+detector, the alert state machine and the console pane."""
+
+import pytest
+
+from repro.observe import (AlertManager, BurnRateRule, EwmaAnomalyDetector,
+                           TelemetryHub)
+from repro.ops.console import OperatorConsole
+from repro.trace import install_tracer
+from repro.traffic.slo import burn_rate
+
+
+# -- burn-rate math -----------------------------------------------------------
+
+
+def test_burn_rate_math():
+    # 0.1% budget at 99.9%: 10 bad of 1000 attempted burns 10 budgets
+    assert burn_rate(1000.0, 10.0, 0.999) == pytest.approx(10.0)
+    assert burn_rate(0.0, 0.0, 0.999) == 0.0
+    assert burn_rate(1000.0, 0.0, 0.999) == 0.0
+    assert burn_rate(100.0, 1.0, 1.0) == float("inf")
+    assert burn_rate(100.0, 0.0, 1.0) == 0.0
+
+
+# -- the anomaly detector -----------------------------------------------------
+
+
+def test_ewma_detector_triggers_on_spike_after_warmup():
+    det = EwmaAnomalyDetector(alpha=0.3, z=4.0, warmup=5, min_std=0.1)
+    for _ in range(10):
+        assert det.observe(10.0) is False
+    assert det.observe(100.0) is True
+    assert det.last_score > 4.0
+
+
+def test_ewma_anomalies_do_not_poison_the_baseline():
+    det = EwmaAnomalyDetector(warmup=5, min_std=0.1)
+    for _ in range(10):
+        det.observe(10.0)
+    mean_before = det.mean
+    det.observe(1000.0)
+    assert det.mean == mean_before
+
+
+def test_ewma_warmup_never_triggers():
+    det = EwmaAnomalyDetector(warmup=50, min_std=1e-6)
+    assert all(not det.observe(v) for v in (0.0, 1e6, -1e6, 42.0))
+
+
+def test_ewma_alpha_validated():
+    with pytest.raises(ValueError):
+        EwmaAnomalyDetector(alpha=0.0)
+
+
+# -- burn-rate alerts on a live hub -------------------------------------------
+
+
+class FakeSli:
+    def __init__(self):
+        self.attempted = 0.0
+        self.served = 0.0
+
+
+@pytest.fixture
+def stack(sim, notifications):
+    """Hub + manager + one traffic class fed by a 60 s drip whose
+    badness is switchable."""
+    hub = TelemetryHub(sim, interval=60.0, registry=None)
+    sli = FakeSli()
+    hub.attach_slis({"web": sli})
+    mgr = AlertManager(sim, hub, channel=notifications,
+                       rules=(BurnRateRule("fast", 600.0, 120.0, 10.0,
+                                           "critical"),))
+    state = {"bad": 0.0}
+
+    def drip():
+        sli.attempted += 100.0
+        sli.served += 100.0 * (1.0 - state["bad"])
+        sim.schedule(60.0, drip)
+
+    sim.schedule(60.0, drip)
+    hub.start()
+    return hub, mgr, state
+
+
+def test_burn_alert_fires_pages_and_resolves(sim, notifications, stack):
+    hub, mgr, state = stack
+    ledger_events = []
+    from repro.controlplane.ledger import ConditionLedger
+    ledger = ConditionLedger()
+    ledger.on_append(ledger_events.append)
+    mgr.attach_ledger(ledger)
+
+    sim.run(until=1200.0)               # clean baseline: no alerts
+    assert mgr.pages_sent == 0
+
+    state["bad"] = 0.5                  # 50% failures >> 0.1% budget
+    sim.run(until=1500.0)
+    firing = mgr.firing()
+    assert len(firing) == 1 and firing[0].severity == "critical"
+    assert mgr.pages_sent == 1
+    assert notifications.sent[-1].subject.startswith("ALERT slo-burn web")
+    assert [c.status for c in ledger_events] == ["firing"]
+
+    state["bad"] = 0.0                  # recover; both windows drain
+    sim.run(until=4000.0)
+    assert mgr.firing() == []
+    assert mgr.history[0].state == "resolved"
+    assert [c.status for c in ledger_events] == ["firing", "resolved"]
+
+
+def test_alert_attributed_to_newest_fault(sim, notifications, stack):
+    hub, mgr, state = stack
+    tracer = install_tracer(sim)
+    sim.run(until=600.0)
+    tracer.instant("fault.inject", fault_id="F0042", kind="db-crash",
+                   target="db01/ora")
+    state["bad"] = 0.5
+    sim.run(until=1500.0)
+    assert mgr.firing()[0].fault_id == "F0042"
+    assert "F0042" in notifications.sent[-1].subject
+    assert mgr.first_fired_at(fault_id="F0042") is not None
+    assert mgr.alerts_for("F0042") == [mgr.firing()[0]]
+
+
+# -- the state machine straight on ---------------------------------------------
+
+
+def _mgr(sim, **kw):
+    hub = TelemetryHub(sim, interval=60.0)
+    return AlertManager(sim, hub, **kw)
+
+
+def test_hold_swallows_flaps(sim):
+    mgr = _mgr(sim, hold=120.0)
+    kw = dict(subject="s", severity="warning", value=1.0, threshold=1.0)
+    mgr._transition("k", True, 0.0, **kw)
+    assert mgr._active["k"].state == "pending" and mgr.pages_sent == 0
+    mgr._transition("k", False, 60.0, **kw)
+    assert mgr._active == {} and mgr.history == []
+    assert mgr.flaps_suppressed == 1
+
+
+def test_fire_after_hold_then_resolve_after_quiet(sim):
+    mgr = _mgr(sim, hold=120.0, resolve_hold=300.0)
+    kw = dict(subject="s", severity="warning", value=1.0, threshold=1.0)
+    mgr._transition("k", True, 0.0, **kw)
+    mgr._transition("k", True, 120.0, **kw)
+    alert = mgr._active["k"]
+    assert alert.state == "firing" and alert.pages == 1
+    mgr._transition("k", False, 200.0, **kw)    # not quiet long enough
+    assert alert.state == "firing"
+    mgr._transition("k", False, 420.0, **kw)
+    assert alert.state == "resolved" and mgr._active == {}
+    assert mgr.history == [alert]
+
+
+def test_escalation_repages_at_critical(sim):
+    mgr = _mgr(sim, escalate_after=1800.0)
+    kw = dict(subject="s", severity="warning", value=1.0, threshold=1.0)
+    mgr._transition("k", True, 0.0, **kw)
+    alert = mgr._active["k"]
+    assert alert.severity == "warning" and alert.pages == 1
+    mgr._escalate(1000.0)
+    assert not alert.escalated
+    mgr._escalate(1800.0)
+    assert alert.escalated and alert.severity == "critical"
+    assert alert.pages == 2 and alert.notes
+
+
+# -- the console pane ---------------------------------------------------------
+
+
+def test_console_shows_firing_alerts_pane(sim, notifications, stack):
+    hub, mgr, state = stack
+    console = OperatorConsole(notifications, sim)
+    console.attach_alerts(mgr)
+    state["bad"] = 0.5
+    sim.run(until=1500.0)
+    board = console.board()
+    assert "-- alerts: 1 firing, 1 page(s) sent" in board
+    assert "slo-burn web fast" in board
+
+
+def test_console_without_alert_manager_has_no_pane(sim, notifications):
+    console = OperatorConsole(notifications, sim)
+    assert "-- alerts:" not in console.board()
