@@ -1,0 +1,112 @@
+"""Chaos-fuzzer throughput and coverage-growth baseline.
+
+Two arms, both seeded with the committed corpus and no planted bug:
+
+- **replay** -- every corpus scenario once, straight through the
+  executor: the per-episode cost floor (site build + events + oracles
+  + signature harvest);
+- **campaign** -- a full coverage-guided fuzz run: mutation, batch
+  execution, coverage admission.
+
+The acceptance shape: zero oracle violations across the whole
+campaign, a monotonically growing coverage map that keeps growing
+after the corpus seeds are spent (mutants must add markers, or the
+fuzzer is just replaying), and deterministic results for a fixed
+seed.  Full-size runs (200 episodes) write ``BENCH_chaos.json`` --
+episodes/second and the coverage growth curve -- as the recorded
+regression artefact; ``--quick`` shrinks the campaign to CI-smoke
+size with the same assertions.
+"""
+
+import json
+import os
+import time
+
+from repro.chaos.executor import run_episode
+from repro.chaos.fuzzer import ScenarioFuzzer
+from repro.chaos.scenario import build_corpus
+
+from conftest import emit
+
+_FULL_EPISODES = 200
+_QUICK_EPISODES = 20
+_BATCH = 10
+
+
+def _replay_arm() -> dict:
+    t0 = time.perf_counter()
+    episodes = 0
+    violations = 0
+    for sc in build_corpus(0).values():
+        ep = run_episode(sc)
+        episodes += 1
+        violations += len(ep.violated)
+    wall = time.perf_counter() - t0
+    return {"wall": wall, "episodes": episodes,
+            "violations": violations}
+
+
+def _campaign_arm(episodes: int) -> dict:
+    t0 = time.perf_counter()
+    fz = ScenarioFuzzer(seed=0, episodes=episodes, batch=_BATCH,
+                        max_violations=episodes)
+    res = fz.run()
+    wall = time.perf_counter() - t0
+    return {"wall": wall, "result": res}
+
+
+def test_chaos_fuzzer_throughput(one_shot, quick):
+    episodes = _QUICK_EPISODES if quick else _FULL_EPISODES
+    replay = _replay_arm()          # warm caches, measure the floor
+
+    campaign = one_shot(_campaign_arm, episodes)
+    res = campaign["result"]
+    eps_per_s = res.episodes / campaign["wall"]
+    growth = res.coverage.growth
+    corpus_seeds = len(build_corpus(0))
+    at_seeds = next((size for ep_i, size in growth
+                     if ep_i >= min(corpus_seeds, len(growth))), 0)
+
+    emit("\n".join([
+        f"chaos fuzzer -- {res.episodes} episodes, batch {_BATCH}:",
+        f"  corpus replay  {replay['episodes']} scenarios in "
+        f"{replay['wall']:.1f}s "
+        f"({replay['episodes'] / replay['wall']:.1f} ep/s)",
+        f"  fuzz campaign  {res.episodes} episodes in "
+        f"{campaign['wall']:.1f}s ({eps_per_s:.1f} ep/s)",
+        f"  coverage       {len(res.coverage)} markers "
+        f"({at_seeds} after the corpus seeds, "
+        f"{len(res.admitted)} mutants admitted)",
+        f"  violations     {len(res.violations)}",
+    ]))
+
+    # the acceptance shape: clean fleet, growing map, no worker crashes
+    assert res.violations == [], [v["violated"] for v in res.violations]
+    assert res.errors == []
+    assert replay["violations"] == 0
+    sizes = [size for _ep, size in growth]
+    assert sizes == sorted(sizes), "coverage map shrank"
+    if not quick:
+        # mutation keeps finding paths the corpus seeds alone missed
+        assert sizes[-1] > at_seeds, (
+            "no coverage growth after the corpus seeds")
+        assert len(res.admitted) >= 5
+
+    if quick:
+        return
+    baseline = {
+        "episodes": res.episodes,
+        "batch": _BATCH,
+        "campaign_wall_s": round(campaign["wall"], 2),
+        "episodes_per_s": round(eps_per_s, 2),
+        "replay_wall_s": round(replay["wall"], 2),
+        "replay_scenarios": replay["episodes"],
+        "coverage_markers": len(res.coverage),
+        "coverage_growth": [[ep_i, size] for ep_i, size in growth],
+        "corpus_admitted": len(res.admitted),
+        "violations": 0,
+    }
+    path = os.path.join(os.path.dirname(__file__), "BENCH_chaos.json")
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,236 @@
+"""Episode execution: one scenario against one live site.
+
+Every episode runs at test scale with the control plane in ``paired``
+mode -- the scan-vs-ledger cross-check of PR 4 runs on every sweep, so
+the strongest oracle comes for free -- plus one spare host so the
+relocation tier is reachable, the tracer installed so incident reports
+can be built, and a :class:`~repro.experiments.runner.FidelityHarness`
+keeping the downtime books.
+
+Events resolve their abstract target selectors against the built site
+(indices wrap modulo pool size) and dispatch through the injector's
+structured catalog.  An event whose target cannot take the fault --
+already broken, host down, LAN already up on a repair -- **fizzles**:
+it is recorded, counted, and the episode continues, exactly like
+lightning striking a hole.  Fizzles are coverage markers too; the
+fuzzer learns which compositions are even reachable.
+
+``planted_bug`` is a test-only flag wiring in a deliberate regression
+(the watchdog's deadline wheel mis-arms entries whose staleness gap is
+deeper than one backoff level, pushing them to never-due) so the
+fuzzer demo and the shrinker tests have a real defect to find.  It
+only manifests when an agent goes silent *after* its host has
+quiesced into deep backoff -- adversarial timing the fuzzer must
+compose.  Production code paths never set it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set
+
+from repro.chaos.scenario import Scenario, parse_target
+from repro.faults.injector import OverlappingFaultError
+
+__all__ = ["Episode", "run_episode", "PLANTED_GAP"]
+
+#: staleness gaps deeper than this get mis-armed when the planted bug
+#: is on (base period + one backoff + grace = 900; deep backoff > 1500)
+PLANTED_GAP = 1500.0
+
+#: selector pool -> how to pull the pool out of a built site
+_HOST_GROUPS = {"dbhost": "db", "tphost": "tp", "fehost": "frontend",
+                "sphost": "spare", "admhost": "admin"}
+
+
+@dataclass
+class Episode:
+    """One scenario's run: handles, outcomes, verdicts, coverage."""
+
+    scenario: Scenario
+    site: object
+    harness: object
+    horizon: float
+    #: "t op target" lines for events that applied / fizzled
+    applied: List[str] = field(default_factory=list)
+    fizzled: List[str] = field(default_factory=list)
+    applied_kinds: Set[str] = field(default_factory=set)
+    fizzled_kinds: Set[str] = field(default_factory=set)
+    #: cond:<kind>[:<status>] markers collected live off the ledger
+    condition_markers: Set[str] = field(default_factory=set)
+    reports: List = field(default_factory=list)
+    reconciliation: dict = field(default_factory=dict)
+    verdicts: List = field(default_factory=list)
+    coverage: FrozenSet[str] = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def violated(self) -> List[str]:
+        """Names of oracles that fired."""
+        return [v.oracle for v in self.verdicts if not v.ok]
+
+    @property
+    def violations(self) -> List[str]:
+        return [msg for v in self.verdicts for msg in v.violations]
+
+    def summary(self) -> dict:
+        """Picklable structured result for batch workers: scenario id
+        + JSON, oracle verdicts, coverage signature, event outcomes."""
+        return {
+            "scenario_id": self.scenario.scenario_id,
+            "scenario_json": self.scenario.to_json(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "violated": self.violated,
+            "coverage": sorted(self.coverage),
+            "applied": len(self.applied),
+            "fizzled": len(self.fizzled),
+        }
+
+
+def _resolve(site, selector: str):
+    """An abstract target selector -> the live object, or None when
+    the pool is empty on this site."""
+    pool, idx = parse_target(selector)
+    if pool == "db":
+        seq = site.databases
+    elif pool == "fe":
+        seq = site.frontends
+    elif pool == "web":
+        seq = site.webservers
+    elif pool in _HOST_GROUPS:
+        seq = site.dc.group(_HOST_GROUPS[pool])
+    elif pool == "lan":
+        seq = [site.dc.lans[name]
+               for name in sorted(site.dc.lans) if name != "agentnet"]
+    elif pool == "dns":
+        return site.nameservice
+    elif pool == "lsf":
+        return site.lsf_master
+    else:
+        raise ValueError(f"unknown target pool {pool!r}")
+    if not seq:
+        return None
+    return seq[idx % len(seq)]
+
+
+def _apply_event(site, injector, ev) -> None:
+    """Apply one event; raises ValueError-family on fizzle."""
+    target = _resolve(site, ev.target)
+    if target is None:
+        raise OverlappingFaultError(ev.op, ev.target,
+                                    "empty pool on this site")
+    if ev.op == "lan-repair":
+        if target.up:
+            raise OverlappingFaultError(ev.op, target.name, "LAN is up")
+        target.repair()
+    elif ev.op == "nic-repair":
+        failed = [nic for _n, nic in sorted(target.nics.items())
+                  if not nic.ok]
+        if not failed:
+            raise OverlappingFaultError(ev.op, target.name,
+                                        "no failed interface")
+        for nic in failed:
+            nic.repair()
+    elif ev.op == "dns-repair":
+        if target.up:
+            raise OverlappingFaultError(ev.op, "dns", "already up")
+        target.repair()
+    elif ev.op == "host-crash":
+        if not target.is_up:
+            raise OverlappingFaultError(ev.op, target.name,
+                                        "host already down")
+        target.crash("chaos: injected host crash")
+    elif ev.op == "host-boot":
+        if target.is_up:
+            raise OverlappingFaultError(ev.op, target.name, "host is up")
+        target.boot()
+    else:
+        injector.inject(ev.op, target, **ev.param_dict())
+
+
+def _plant_bug(admin) -> None:
+    """Test-only: wrap the watchdog wheel so deadlines implying a
+    deep-backoff staleness gap are pushed to never-due.  The key stays
+    tracked (the wheel-structure oracle passes); the *behaviour*
+    diverges from the scan plan only once that agent goes silent."""
+    wheel = admin._wheel
+    orig = wheel.set_deadline
+    sim = admin.sim
+
+    def mis_arm(key, deadline):
+        if deadline - sim.now > PLANTED_GAP:
+            orig(key, deadline + 1e9)
+        else:
+            orig(key, deadline)
+
+    wheel.set_deadline = mis_arm
+
+
+def run_episode(scenario: Scenario, *, planted_bug: bool = False,
+                oracle_names=None) -> Episode:
+    """Build the site, run the scenario, judge it.
+
+    Deterministic for a fixed scenario (site seed + canonical events):
+    two runs produce identical decision logs, verdicts and coverage.
+    """
+    from repro.chaos.coverage import signature_of
+    from repro.chaos.oracles import run_oracles
+    from repro.experiments.runner import FidelityHarness
+    from repro.experiments.site import SiteConfig, build_site
+    from repro.observe.incidents import build_reports, reconcile
+    from repro.trace import install_tracer
+
+    scenario = scenario.normalized()
+    scenario.validate()
+
+    config = SiteConfig.test_scale(
+        seed=scenario.seed, control_plane="paired", spare_servers=1,
+        with_workload=False, with_feeds=False)
+    site = build_site(config)
+    tracer = install_tracer(site.sim)
+    harness = FidelityHarness(site)
+    if planted_bug:
+        _plant_bug(site.admin)
+
+    ep = Episode(scenario=scenario, site=site, harness=harness,
+                 horizon=scenario.horizon)
+
+    if site.ledger is not None:
+        def collect(cond):
+            ep.condition_markers.add(f"cond:{cond.kind}")
+            if cond.status:
+                ep.condition_markers.add(f"cond:{cond.kind}:{cond.status}")
+        site.ledger.on_append(collect)
+
+    injector = harness.injector
+    base = site.sim.now      # site warm-up already consumed ~400 s
+
+    def fire(ev):
+        line = f"{site.sim.now:.0f} {ev.op} {ev.target}"
+        try:
+            _apply_event(site, injector, ev)
+        except ValueError as exc:   # includes OverlappingFaultError
+            ep.fizzled.append(f"{line} ({exc})")
+            ep.fizzled_kinds.add(ev.op)
+            return
+        ep.applied.append(line)
+        ep.applied_kinds.add(ev.op)
+
+    for ev in scenario.events:
+        site.sim.schedule_at(base + ev.time, fire, ev)
+    site.run(scenario.horizon)
+    harness.scan_flags_for_detection()
+
+    horizon = site.sim.now
+    ep.horizon = horizon
+    ep.reports = build_reports(
+        tracer, downtime=harness.ledger, horizon=horizon,
+        admin=site.admin, relocator=site.relocator)
+    ep.reconciliation = reconcile(ep.reports, downtime=harness.ledger,
+                                  horizon=horizon)
+    ep.verdicts = run_oracles(ep, oracle_names)
+    ep.coverage = signature_of(ep)
+    return ep

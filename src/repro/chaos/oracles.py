@@ -1,0 +1,145 @@
+"""Invariant oracles: the guardrails the repo already trusts, packaged.
+
+Each oracle inspects one finished :class:`~repro.chaos.executor.Episode`
+and returns a list of violation strings (empty = clean).  None of them
+encode new theory -- they are exactly the invariants earlier PRs
+established as permanent regression guards, now run after *every*
+fuzzed episode instead of only inside their home test files:
+
+- **scan-ledger-parity** -- the paired control plane's scan-vs-ledger
+  sweep and DGSPL plans must be byte-identical (PR 4's contract; the
+  executor runs every episode in ``paired`` mode so the comparison is
+  made on every sweep of every episode).
+- **deadline-wheel** -- the watchdog's staleness wheel must never lose
+  a watched agent key and never resurrect a dropped one.
+- **stuck-relocations** -- every relocation that started with enough
+  budget left must finish: cutover or rollback, never limbo.
+- **downtime-reconciliation** -- per-incident report downtime must sum
+  exactly to the DowntimeLedger's horizon-clamped total
+  (:func:`repro.observe.incidents.reconcile`).
+- **notification-storm** -- no recipient is paged more than a bounded
+  number of times per simulated hour; a healing system that fixes the
+  fault but melts the pager is a failure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["OracleVerdict", "ORACLES", "run_oracles",
+           "NOTIFY_STORM_BOUND"]
+
+#: max pages one recipient may receive per simulated hour
+NOTIFY_STORM_BOUND = 30
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One oracle's view of one episode."""
+
+    oracle: str
+    ok: bool
+    violations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"oracle": self.oracle, "ok": self.ok,
+                "violations": list(self.violations)}
+
+
+def scan_ledger_parity(ep) -> List[str]:
+    admin = ep.site.admin
+    if admin is None or admin.control_plane != "paired":
+        return []
+    out = []
+    if admin.sweep_mismatches:
+        out.append(f"{admin.sweep_mismatches} sweep plan(s) diverged "
+                   f"between scan and ledger control planes")
+    if admin.dgspl_mismatches:
+        out.append(f"{admin.dgspl_mismatches} DGSPL build(s) diverged "
+                   f"between scan and ledger control planes")
+    return out
+
+
+def deadline_wheel(ep) -> List[str]:
+    admin = ep.site.admin
+    if admin is None or admin.ledger is None:
+        return []
+    wheel = admin._wheel
+    out = []
+    tracked = set(wheel._deadline)
+    # never lose: every agent of every registered suite stays tracked
+    for host_name, suite in admin.suites.items():
+        for agent in suite.agents:
+            key = (host_name, agent.name)
+            if key not in tracked:
+                out.append(f"watched agent key {key} lost from the "
+                           f"deadline wheel")
+    # never resurrect: the due set only contains tracked keys
+    for key in wheel._due:
+        if key not in tracked:
+            out.append(f"dropped key {key} resurrected in the due set")
+    return out
+
+
+def stuck_relocations(ep) -> List[str]:
+    relocator = ep.site.relocator
+    if relocator is None:
+        return []
+    out = []
+    horizon = ep.horizon
+    for rec in relocator.records:
+        if rec.finished is None and \
+                rec.started + relocator.budget < horizon:
+            out.append(f"relocation of {rec.subject} stuck in phase "
+                       f"{rec.phase!r} (started {rec.started:.0f}, "
+                       f"budget long expired)")
+    for subject in relocator.active:
+        recs = [r for r in relocator.records if r.subject == subject]
+        if recs and recs[-1].started + relocator.budget < horizon:
+            out.append(f"relocation of {subject} still marked active "
+                       f"at horizon")
+    return out
+
+
+def downtime_reconciliation(ep) -> List[str]:
+    recon = ep.reconciliation
+    if not recon:
+        return []
+    if recon.get("downtime_ok", True):
+        return []
+    return [f"incident-report downtime {recon['downtime_reports_h']:.6f} h "
+            f"!= downtime-ledger {recon['downtime_ledger_h']:.6f} h"]
+
+
+def notification_storm(ep) -> List[str]:
+    """Pages per recipient per simulated hour stay bounded."""
+    buckets: Dict[Tuple[str, int], int] = defaultdict(int)
+    for note in ep.site.notifications.sent:
+        buckets[(note.recipient, int(note.time // 3600.0))] += 1
+    out = []
+    for (recipient, hour), n in sorted(buckets.items()):
+        if n > NOTIFY_STORM_BOUND:
+            out.append(f"{recipient} paged {n}x in sim hour {hour} "
+                       f"(bound {NOTIFY_STORM_BOUND})")
+    return out
+
+
+#: name -> oracle fn(episode) -> violations
+ORACLES: Dict[str, Callable] = {
+    "scan-ledger-parity": scan_ledger_parity,
+    "deadline-wheel": deadline_wheel,
+    "stuck-relocations": stuck_relocations,
+    "downtime-reconciliation": downtime_reconciliation,
+    "notification-storm": notification_storm,
+}
+
+
+def run_oracles(ep, names=None) -> List[OracleVerdict]:
+    """Run every (or the named) oracle over a finished episode."""
+    verdicts = []
+    for name in (names if names is not None else ORACLES):
+        violations = tuple(ORACLES[name](ep))
+        verdicts.append(OracleVerdict(name, not violations, violations))
+    return verdicts

@@ -20,6 +20,8 @@ artefacts from the terminal:
     repro-exp ablation-network
     repro-exp ablation-centralised
     repro-exp all
+    repro-exp chaos run --episodes 200
+    repro-exp chaos corpus | replay tests/corpus | shrink failing.json
 
 ``--trace FILE`` writes a Chrome ``trace_event`` JSON (open it in
 ``chrome://tracing`` or Perfetto) and ``--timeline`` appends the
@@ -237,6 +239,11 @@ _EXPERIMENTS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "chaos":
+        # the chaos toolbox has its own subcommand grammar
+        from repro.chaos.cli import main as chaos_main
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-exp",
         description="Reproduce the evaluation of Corsava & Getov, "

@@ -409,6 +409,23 @@ class AdministrationServers:
         candidates |= self.hosts_escalated
         candidates |= self._recovered_since
         candidates |= self._demand_woken.keys() & self.suites.keys()
+        # the reachability leg: a host whose links all die emits no
+        # condition (silence is not a delta), so the incremental model
+        # alone cannot see it until the flag deadline fires -- under
+        # deep adaptive-wake backoff that window is half an hour, and
+        # the scan plan (which probes the channel on every host every
+        # sweep) escalates immediately.  Probe liveness directly; the
+        # probe is byte-free, and on a healthy site it adds no
+        # candidates, keeping quiet sweeps at zero examined hosts.
+        if self.channel is not None:
+            for host_name in self.suites:
+                if host_name in candidates:
+                    continue
+                host = self.dc.hosts.get(host_name)
+                if (host is not None and host.is_up
+                        and not self.channel.reachable(head.name,
+                                                       host_name)):
+                    candidates.add(host_name)
         order = self._suite_order
         plan = []
         for host_name in sorted(candidates,

@@ -6,18 +6,107 @@ join detection/repair times against injection times.  The
 :meth:`FaultInjector.random_fault` dispatcher picks a concrete flavour
 for an abstract Fig. 2 category, which is how stochastic campaigns in
 full-fidelity mode choose what actually breaks.
+
+Two contracts the chaos tooling (:mod:`repro.chaos`) builds on:
+
+- **No silent overlap.**  Injecting a fault into a component that is
+  still broken from an earlier injection raises
+  :class:`OverlappingFaultError` instead of silently replacing the
+  first fault (the old last-writer-wins behaviour made scenario
+  minimisation ambiguous: which of the two stacked faults caused the
+  violation?).  The error subclasses ``ValueError`` so stochastic
+  campaigns that already treat "no eligible target" as a fizzle keep
+  working unchanged.
+- **A structured catalog.**  :data:`FAULT_CATALOG` enumerates every
+  concrete fault kind with its category and required target kind, so
+  a scenario DSL can generate and validate events against the real
+  injector surface instead of hard-coding strings.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.base import AppState
 from repro.apps.database import Database
 from repro.faults.models import Category, FaultEvent
 from repro.cluster.hardware import ComponentKind, ComponentState
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "FaultSpec", "FAULT_CATALOG",
+           "OverlappingFaultError", "spec_for"]
+
+
+class OverlappingFaultError(ValueError):
+    """The target is already broken by an earlier, still-active fault."""
+
+    def __init__(self, kind: str, target: str, why: str):
+        super().__init__(
+            f"cannot inject {kind!r} into {target}: {why} "
+            f"(overlapping injections against one component are "
+            f"rejected, not last-writer-wins)")
+        self.kind = kind
+        self.target = target
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault kind the injector can apply.
+
+    ``target`` names what the fault needs aimed at it: ``"database"``,
+    ``"app"`` (any application), ``"host"``, ``"lan"``, ``"nameservice"``
+    or ``"scheduler"``.  ``method`` is the :class:`FaultInjector`
+    method implementing it, so callers can dispatch generically.
+    """
+
+    kind: str
+    category: Category
+    target: str
+    method: str
+    description: str = ""
+
+
+#: every concrete fault flavour, enumerable by the scenario DSL
+FAULT_CATALOG: Tuple[FaultSpec, ...] = (
+    FaultSpec("db-crash", Category.MID_CRASH, "database", "db_crash",
+              "database dies mid-job"),
+    FaultSpec("app-crash", Category.FRONT_END, "app", "app_crash",
+              "application process crashes"),
+    FaultSpec("app-hang", Category.FRONT_END, "app", "app_hang",
+              "application hangs: alive in ps, serving nothing"),
+    FaultSpec("config-corruption", Category.HUMAN, "app",
+              "config_corruption",
+              "operator edits startup parameters; app down until restored"),
+    FaultSpec("data-corruption", Category.COMPLETELY_DOWN, "app",
+              "data_corruption", "corrupt files; needs a restore"),
+    FaultSpec("wrong-kill", Category.HUMAN, "app", "wrong_process_killed",
+              "operator pkills the wrong worker process"),
+    FaultSpec("runaway-process", Category.PERFORMANCE, "host",
+              "runaway_process", "a user process eats a CPU"),
+    FaultSpec("memory-leak", Category.PERFORMANCE, "host", "memory_leak",
+              "a process bloats until the pager thrashes"),
+    FaultSpec("disk-fill", Category.PERFORMANCE, "host", "disk_fill",
+              "a filesystem fills"),
+    FaultSpec("lan-fail", Category.FIREWALL_NETWORK, "lan", "lan_failure",
+              "a shared network segment goes down"),
+    FaultSpec("nic-fail", Category.FIREWALL_NETWORK, "host", "nic_failure",
+              "one interface fails"),
+    FaultSpec("dns-fail", Category.FIREWALL_NETWORK, "nameservice",
+              "nameservice_failure", "the name service stops resolving"),
+    FaultSpec("hw-fail", Category.HARDWARE, "host", "component_failure",
+              "a hardware component fails (may be fatal for the host)"),
+    FaultSpec("cron-death", Category.COMPLETELY_DOWN, "host", "cron_death",
+              "crond dies: every agent on the host stops waking"),
+    FaultSpec("lsf-crash", Category.LSF, "scheduler", "lsf_crash",
+              "the batch scheduler master crashes"),
+)
+
+_CATALOG_BY_KIND: Dict[str, FaultSpec] = {s.kind: s for s in FAULT_CATALOG}
+
+
+def spec_for(kind: str) -> FaultSpec:
+    """The catalog entry for ``kind`` (KeyError when unknown)."""
+    return _CATALOG_BY_KIND[kind]
 
 
 class FaultInjector:
@@ -28,6 +117,46 @@ class FaultInjector:
         self.sim = dc.sim
         self.rng = rng
         self.injected: List[FaultEvent] = []
+        #: injections rejected because the target was already broken
+        self.rejected_overlaps = 0
+
+    # -- overlap validation ------------------------------------------------------
+
+    #: app states still in service as far as a *new* fault is concerned
+    _INJECTABLE = (AppState.RUNNING, AppState.DEGRADED, AppState.STARTING)
+
+    def _require(self, ok: bool, kind: str, target: str, why: str) -> None:
+        if not ok:
+            self.rejected_overlaps += 1
+            raise OverlappingFaultError(kind, target, why)
+
+    def _require_app_up(self, app, kind: str) -> None:
+        target = f"{app.host.name}/{app.name}"
+        self._require(app.host.is_up, kind, target, "its host is down")
+        self._require(app.state in self._INJECTABLE, kind, target,
+                      f"already out of service ({app.state.value})")
+
+    def _require_host_up(self, host, kind: str) -> None:
+        self._require(host.is_up, kind, host.name, "host is down")
+
+    # -- catalog dispatch --------------------------------------------------------
+
+    def catalog(self) -> Tuple[FaultSpec, ...]:
+        """The structured fault catalog (see :data:`FAULT_CATALOG`)."""
+        return FAULT_CATALOG
+
+    def inject(self, kind: str, target, **params) -> FaultEvent:
+        """Apply the catalog fault ``kind`` to a resolved ``target``.
+
+        ``target`` must match the spec's target kind (a Database, an
+        app, a Host, a Lan, the NameService or the LSF master).  This
+        is the generic entry the scenario DSL dispatches through.
+        """
+        spec = _CATALOG_BY_KIND.get(kind)
+        if spec is None:
+            raise ValueError(f"unknown fault kind {kind!r}; "
+                             f"see FAULT_CATALOG")
+        return getattr(self, spec.method)(target, **params)
 
     def _record(self, category: Category, kind: str,
                 target: str) -> FaultEvent:
@@ -50,17 +179,20 @@ class FaultInjector:
 
     def db_crash(self, db: Database) -> FaultEvent:
         """The headline fault: a database dies mid-whatever."""
+        self._require_app_up(db, "db-crash")
         db.crash("injected: internal error ORA-00600")
         return self._record(Category.MID_CRASH, "db-crash",
                             f"{db.host.name}/{db.name}")
 
     def app_crash(self, app, category: Category = Category.FRONT_END) -> FaultEvent:
+        self._require_app_up(app, "app-crash")
         app.crash("injected: segmentation fault")
         return self._record(category, "app-crash",
                             f"{app.host.name}/{app.name}")
 
     def app_hang(self, app, category: Category = Category.FRONT_END) -> FaultEvent:
         """The latent error: still in ps, serving nothing."""
+        self._require_app_up(app, "app-hang")
         app.hang("injected: mutex deadlock")
         return self._record(category, "app-hang",
                             f"{app.host.name}/{app.name}")
@@ -68,6 +200,10 @@ class FaultInjector:
     def config_corruption(self, app) -> FaultEvent:
         """Human error: someone edited the config; the app dies and
         will not come back until the configuration is restored."""
+        self._require_app_up(app, "config-corruption")
+        self._require(app.config_ok, "config-corruption",
+                      f"{app.host.name}/{app.name}",
+                      "config already corrupted")
         app.config_ok = False
         app.crash("injected: operator changed startup parameters")
         return self._record(Category.HUMAN, "config-corruption",
@@ -75,6 +211,10 @@ class FaultInjector:
 
     def data_corruption(self, app) -> FaultEvent:
         """Completely-down class: corrupt files; needs a restore."""
+        self._require_app_up(app, "data-corruption")
+        self._require(app.data_ok, "data-corruption",
+                      f"{app.host.name}/{app.name}",
+                      "data already corrupted")
         app.data_ok = False
         app.crash("injected: block corruption detected")
         return self._record(Category.COMPLETELY_DOWN, "data-corruption",
@@ -82,6 +222,7 @@ class FaultInjector:
 
     def wrong_process_killed(self, app) -> FaultEvent:
         """Human error flavour two: an operator pkill'd the wrong thing."""
+        self._require_app_up(app, "wrong-kill")
         if app.procs:
             victim = app.procs[int(self.rng.integers(len(app.procs)))]
             app.host.ptable.kill(victim.pid)
@@ -97,6 +238,7 @@ class FaultInjector:
 
     def runaway_process(self, host) -> FaultEvent:
         """A user process eats a CPU."""
+        self._require_host_up(host, "runaway-process")
         user = f"user{int(self.rng.integers(10)):02d}"
         host.ptable.spawn(user, "runaway.sh", cpu_pct=95.0, mem_mb=8.0,
                           now=self.sim.now)
@@ -106,6 +248,7 @@ class FaultInjector:
     def memory_leak(self, host, mb: float = 0.0) -> FaultEvent:
         """A process bloats until the pager thrashes (it grabs nearly
         all the currently free memory, whatever else is running)."""
+        self._require_host_up(host, "memory-leak")
         size = mb or host.memory_free_mb() * 0.99
         host.ptable.spawn("appuser", "leaky_daemon", cpu_pct=5.0,
                           mem_mb=size, now=self.sim.now)
@@ -113,6 +256,12 @@ class FaultInjector:
 
     def disk_fill(self, host, mount: str = "/logs",
                   fraction: float = 0.99) -> FaultEvent:
+        self._require_host_up(host, "disk-fill")
+        m = host.fs.mounts.get(mount)
+        self._require(m is not None and
+                      m.used_bytes < int(m.capacity_bytes * fraction),
+                      "disk-fill", f"{host.name}:{mount}",
+                      "mount missing or already filled")
         host.fs.fill(mount, fraction)
         return self._record(Category.PERFORMANCE, "disk-fill",
                             f"{host.name}:{mount}")
@@ -120,19 +269,28 @@ class FaultInjector:
     # -- network faults ---------------------------------------------------------------------
 
     def lan_failure(self, lan) -> FaultEvent:
+        self._require(lan.up, "lan-fail", lan.name, "LAN already down")
         lan.fail()
         return self._record(Category.FIREWALL_NETWORK, "lan-fail", lan.name)
 
     def nic_failure(self, host, ifname: Optional[str] = None) -> FaultEvent:
-        names = sorted(host.nics)
-        if not names:
-            raise ValueError(f"{host.name} has no NICs")
-        ifname = ifname or names[int(self.rng.integers(len(names)))]
+        names = sorted(n for n, nic in host.nics.items() if nic.ok)
+        if not names and ifname is None:
+            raise ValueError(f"{host.name} has no working NICs")
+        if ifname is None:
+            ifname = names[int(self.rng.integers(len(names)))]
+        else:
+            nic = host.nics.get(ifname)
+            self._require(nic is not None and nic.ok, "nic-fail",
+                          f"{host.name}:{ifname}",
+                          "interface missing or already failed")
         host.nics[ifname].fail()
         return self._record(Category.FIREWALL_NETWORK, "nic-fail",
                             f"{host.name}:{ifname}")
 
     def nameservice_failure(self, ns) -> FaultEvent:
+        self._require(ns.up, "dns-fail", "dns",
+                      "name service already down")
         ns.fail()
         return self._record(Category.FIREWALL_NETWORK, "dns-fail", "dns")
 
@@ -158,12 +316,16 @@ class FaultInjector:
     def cron_death(self, host) -> FaultEvent:
         """crond dies: every agent on the host stops waking.  Only the
         administration servers' flag watchdog can notice."""
+        self._require_host_up(host, "cron-death")
+        self._require(host.crond.running, "cron-death", host.name,
+                      "crond already dead")
         host.crond.kill()
         host.ptable.kill_command("crond")
         return self._record(Category.COMPLETELY_DOWN, "cron-death",
                             host.name)
 
     def lsf_crash(self, master) -> FaultEvent:
+        self._require_app_up(master, "lsf-crash")
         master.crash("injected: mbatchd assertion failure")
         return self._record(Category.LSF, "lsf-crash", master.host.name)
 

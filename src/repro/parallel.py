@@ -17,11 +17,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["ReplicationError", "replicate", "default_workers"]
+__all__ = ["ReplicationError", "SeedOutcome", "replicate",
+           "replicate_outcomes", "default_workers"]
 
 
 class ReplicationError(Exception):
@@ -77,3 +80,67 @@ def replicate(fn: Callable[[int], T], seeds: Sequence[int], *,
         # restricted environment: do the work here instead
         # (ReplicationError deliberately escapes this net)
         return [_call(fn, s) for s in seeds]
+
+
+@dataclass
+class SeedOutcome(Generic[T]):
+    """One replication's structured result.
+
+    Unlike :func:`replicate` -- which raises on the first failing seed
+    and returns bare values -- an outcome always comes back, carrying
+    either the worker's ``value`` or the ``error`` that killed it.
+    Consumers like the chaos fuzzer loop read worker output (scenario
+    id, oracle verdicts, coverage signature) directly from ``value``
+    without re-running the seed, and a crashed worker is itself a
+    finding rather than a batch abort.
+    """
+
+    seed: int
+    ok: bool
+    value: Optional[T] = None
+    error: str = ""
+
+    def unwrap(self) -> T:
+        if not self.ok:
+            raise ReplicationError(self.seed, RuntimeError(self.error))
+        return self.value
+
+
+def _outcome_call(fn: Callable[[int], T], seed: int) -> SeedOutcome:
+    try:
+        return SeedOutcome(seed, True, fn(seed))
+    except Exception as exc:
+        return SeedOutcome(seed, False, error=repr(exc))
+
+
+def replicate_outcomes(fn: Callable[[int], T], seeds: Sequence[int], *,
+                       processes: Optional[int] = None,
+                       min_parallel: int = 4) -> List[SeedOutcome]:
+    """Run ``fn(seed)`` for every seed, returning per-seed
+    :class:`SeedOutcome` records in seed order.
+
+    Never raises for a failing ``fn``: the failure is captured in the
+    outcome so the other seeds still complete and the caller decides
+    what a partial batch means.  Same parallel/serial fallback rules
+    as :func:`replicate`; ``fn`` must be module-level picklable for
+    the pool path (``functools.partial`` of one is fine).
+    """
+    worker: Callable[[int], SeedOutcome] = partial(_outcome_call, fn)
+    seeds = list(seeds)
+    workers = processes if processes is not None else default_workers()
+    if len(seeds) < min_parallel or workers <= 1:
+        return [worker(s) for s in seeds]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as ex:
+            futures = [(s, ex.submit(worker, s)) for s in seeds]
+            out: List[SeedOutcome] = []
+            for seed, fut in futures:
+                try:
+                    out.append(fut.result())
+                except Exception as exc:
+                    # pool-level failure for this seed (e.g. the value
+                    # would not pickle): still a structured outcome
+                    out.append(SeedOutcome(seed, False, error=repr(exc)))
+            return out
+    except (OSError, PermissionError, RuntimeError):
+        return [worker(s) for s in seeds]

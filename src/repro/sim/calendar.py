@@ -112,6 +112,10 @@ def prev_grid(t: float, period: float, offset: float = 0.0) -> float:
         # float rounding at the boundary (e.g. a subnormal offset whose
         # division underflows to zero) can land one step late; back up
         point -= period
+    elif (k + 1) * period + offset <= t:
+        # ...or one step early, when the next grid point collapses onto
+        # t itself (k*period + offset rounding down to exactly t)
+        point = (k + 1) * period + offset
     return point
 
 

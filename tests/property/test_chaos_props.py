@@ -1,0 +1,88 @@
+"""Property-based tests for the chaos DSL and the shrinker.
+
+Round-trip: any well-formed scenario survives JSON serialisation
+exactly (same canonical dict, same content id).  Shrinker: against an
+arbitrary structural predicate, the reduced scenario still violates,
+never grows, and the reduction is a pure function of its input.
+No episodes are executed here -- these pin the data layer and the
+reduction algorithm, not the simulator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.scenario import (MAX_HORIZON, MIN_HORIZON, OPS,
+                                  POOLS_FOR_KIND, ChaosEvent, Scenario,
+                                  make_target)
+from repro.chaos.shrink import shrink
+
+_OP_NAMES = tuple(sorted(OPS))
+
+
+@st.composite
+def events(draw, horizon: float = MAX_HORIZON):
+    op = draw(st.sampled_from(_OP_NAMES))
+    pools = POOLS_FOR_KIND[OPS[op]]
+    pool = draw(st.sampled_from(pools))
+    index = draw(st.integers(min_value=0, max_value=7))
+    time = draw(st.floats(min_value=0.0, max_value=horizon - 1.0,
+                          allow_nan=False, allow_infinity=False))
+    return ChaosEvent(time, op, make_target(pool, index))
+
+
+@st.composite
+def scenarios(draw):
+    horizon = draw(st.floats(min_value=MIN_HORIZON,
+                             max_value=MAX_HORIZON,
+                             allow_nan=False, allow_infinity=False))
+    evs = draw(st.lists(events(horizon=horizon), max_size=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return Scenario(name="prop", events=evs, horizon=horizon,
+                    seed=seed).normalized()
+
+
+@given(scenarios())
+@settings(max_examples=200, deadline=None)
+def test_json_round_trip_is_exact(sc):
+    back = Scenario.from_json(sc.to_json())
+    assert back.to_dict() == sc.to_dict()
+    assert back.scenario_id == sc.scenario_id
+    # and the round-tripped copy serialises identically (fixpoint)
+    assert back.to_json() == sc.to_json()
+
+
+@given(scenarios())
+@settings(max_examples=200, deadline=None)
+def test_normalized_is_idempotent_and_valid(sc):
+    again = sc.normalized()
+    assert again.to_json() == sc.to_json()
+    sc.validate()
+
+
+@given(scenarios(), st.sampled_from(_OP_NAMES))
+@settings(max_examples=100, deadline=None)
+def test_shrinker_preserves_violation_and_never_grows(sc, culprit_op):
+    def violates(s):
+        return any(e.op == culprit_op for e in s.events)
+    if not violates(sc):
+        return
+    res = shrink(sc, violates)
+    assert violates(res.shrunk)
+    assert len(res.shrunk.events) <= len(sc.events)
+    assert res.shrunk.horizon <= sc.horizon
+    res.shrunk.validate()
+    # minimality for this predicate class: one event suffices
+    assert len(res.shrunk.events) == 1
+
+
+@given(scenarios(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_shrinker_deterministic_for_count_predicates(sc, k):
+    def violates(s):
+        return len(s.events) >= k
+    if not violates(sc):
+        return
+    a = shrink(sc, violates)
+    b = shrink(sc, violates)
+    assert a.shrunk.to_json() == b.shrunk.to_json()
+    assert len(a.shrunk.events) == k

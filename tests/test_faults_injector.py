@@ -101,3 +101,77 @@ def test_random_fault_returns_none_without_targets(dc, rs):
     # no databases exist in the bare fixture
     assert inj.random_fault(Category.MID_CRASH) is None
     assert inj.random_fault(Category.LSF) is None
+
+
+# -- overlap rejection + the structured catalog (chaos contracts) ---------------
+
+from repro.faults.injector import (FAULT_CATALOG, OverlappingFaultError,
+                                   spec_for)
+
+
+def test_double_crash_rejected_not_last_writer_wins(inj, database):
+    inj.db_crash(database)
+    with pytest.raises(OverlappingFaultError, match="out of service"):
+        inj.db_crash(database)
+    assert inj.rejected_overlaps == 1
+    assert len(inj.injected) == 1
+
+
+def test_overlap_error_is_a_value_error(inj, database):
+    inj.app_crash(database)
+    # stochastic campaigns catch ValueError for fizzles; the new
+    # overlap rejection must stay inside that contract
+    with pytest.raises(ValueError):
+        inj.app_hang(database)
+
+
+def test_fault_on_downed_host_rejected(inj, database, db_host):
+    db_host.crash("test")
+    with pytest.raises(OverlappingFaultError, match="host is down"):
+        inj.db_crash(database)
+    with pytest.raises(OverlappingFaultError, match="host is down"):
+        inj.cron_death(db_host)
+
+
+def test_config_corruption_twice_rejected(inj, database, sim):
+    inj.config_corruption(database)
+    database.config_ok = True       # what the healing step does
+    database.start()
+    sim.run(until=sim.now + 200.0)
+    ev = inj.config_corruption(database)    # fine after repair
+    assert ev.kind == "config-corruption"
+    with pytest.raises(OverlappingFaultError):
+        inj.config_corruption(database)
+
+
+def test_disk_fill_twice_rejected(inj, db_host):
+    inj.disk_fill(db_host)
+    with pytest.raises(OverlappingFaultError, match="already filled"):
+        inj.disk_fill(db_host)
+
+
+def test_cron_death_twice_rejected(inj, db_host):
+    inj.cron_death(db_host)
+    with pytest.raises(OverlappingFaultError, match="crond already dead"):
+        inj.cron_death(db_host)
+
+
+def test_lan_failure_twice_rejected(inj, dc):
+    lan = dc.lans["public0"]
+    inj.lan_failure(lan)
+    with pytest.raises(OverlappingFaultError, match="already down"):
+        inj.lan_failure(lan)
+
+
+def test_catalog_methods_exist_and_dispatch(inj, database):
+    for spec in FAULT_CATALOG:
+        assert callable(getattr(inj, spec.method)), spec.kind
+        assert spec_for(spec.kind) is spec
+    ev = inj.inject("db-crash", database)
+    assert ev.kind == "db-crash"
+    assert ev.category is Category.MID_CRASH
+
+
+def test_inject_unknown_kind_raises(inj, database):
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        inj.inject("kernel-panic", database)

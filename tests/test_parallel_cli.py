@@ -86,3 +86,48 @@ def test_cli_rejects_unknown_experiment():
     from repro.cli import main
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- structured per-seed outcomes (chaos batch contract) ------------------------
+
+from repro.parallel import SeedOutcome, replicate_outcomes
+
+
+def test_outcomes_never_raise_and_preserve_order():
+    out = replicate_outcomes(_boom, [1, 2, 3, 4], min_parallel=10)
+    assert [o.seed for o in out] == [1, 2, 3, 4]
+    assert [o.ok for o in out] == [True, True, False, True]
+    assert out[0].value == 1
+    assert "bad draw at 3" in out[2].error
+
+
+def test_outcomes_parallel_matches_serial():
+    serial = replicate_outcomes(_boom, list(range(8)), min_parallel=100)
+    pooled = replicate_outcomes(_boom, list(range(8)), min_parallel=2)
+    assert [(o.seed, o.ok, o.value) for o in serial] == \
+           [(o.seed, o.ok, o.value) for o in pooled]
+
+
+def test_outcome_unwrap():
+    ok, bad = replicate_outcomes(_boom, [1, 3], min_parallel=10)
+    assert ok.unwrap() == 1
+    with pytest.raises(ReplicationError, match="seed 3"):
+        bad.unwrap()
+    assert isinstance(ok, SeedOutcome)
+
+
+def test_cli_chaos_corpus_round_trips(tmp_path, capsys):
+    from repro.chaos.scenario import Scenario, build_corpus
+    from repro.cli import main
+    assert main(["chaos", "corpus", "--dir", str(tmp_path)]) == 0
+    files = sorted(p.name for p in tmp_path.glob("*.json"))
+    assert len(files) >= 10
+    built = build_corpus(0)
+    sc = Scenario.from_json((tmp_path / files[0]).read_text())
+    assert sc.to_dict() == built[sc.name].to_dict()
+
+
+def test_cli_chaos_requires_subcommand():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["chaos"])
