@@ -68,6 +68,7 @@ class Database(Application):
         self.backup_running = False
         self.backup_duration = 3600.0
         self.jobs_crashed_total = 0
+        self._backup_event = None
 
     # -- SQL-level health probe -------------------------------------------------
 
@@ -162,13 +163,57 @@ class Database(Application):
             return None
         self.backup_running = True
         self.host.add_io_demand(0.5)
-        self.sim.schedule(self.backup_duration, self._finish_backup)
+        self._backup_event = self.sim.schedule(self.backup_duration,
+                                               self._finish_backup)
         return self.backup_duration
 
     def _finish_backup(self) -> None:
+        self._backup_event = None
         if self.backup_running:
             self.backup_running = False
             self.host.add_io_demand(-0.5)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def _persist_extra(self) -> dict:
+        if self.active_jobs:
+            # batch jobs are generator-driven; a checkpoint barrier must
+            # not land while any are attached (see repro.persist)
+            raise RuntimeError(
+                f"{self.name}: cannot snapshot with active batch jobs")
+        ev = self._backup_event if (self._backup_event is not None
+                                    and self._backup_event.alive) else None
+        return {
+            "connected_users": dict(self.connected_users),
+            "checkpoints": self.checkpoints,
+            "transactions": self.transactions,
+            "backup_running": self.backup_running,
+            "jobs_crashed_total": self.jobs_crashed_total,
+            "backup_event": ([ev.time, ev.priority, ev.seq]
+                             if ev is not None else None),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.connected_users = {u: float(t)
+                                for u, t in extra["connected_users"].items()}
+        self.checkpoints = int(extra["checkpoints"])
+        self.transactions = int(extra["transactions"])
+        self.backup_running = bool(extra["backup_running"])
+        self.jobs_crashed_total = int(extra["jobs_crashed_total"])
+        if self._backup_event is not None:
+            self._backup_event.cancel()
+            self._backup_event = None
+        tok = extra.get("backup_event")
+        if tok is not None:
+            t, prio, seq = tok
+            self._backup_event = self.sim.schedule_exact(
+                t, prio, seq, self._finish_backup)
+
+    def claimed_seqs(self):
+        seqs = super().claimed_seqs()
+        if self._backup_event is not None and self._backup_event.alive:
+            seqs.append(self._backup_event.seq)
+        return seqs
 
     def db_metrics(self) -> Dict[str, float]:
         """The ten §3.6 database measurements, as one snapshot."""

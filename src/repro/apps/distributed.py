@@ -163,6 +163,16 @@ class DistributedService:
 
         return sim.spawn(driver(), name=f"svc-start.{self.name}")
 
+    # -- persistence -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"probes_run": self.probes_run,
+                "probe_failures": self.probe_failures}
+
+    def restore_state(self, state: dict) -> None:
+        self.probes_run = int(state["probes_run"])
+        self.probe_failures = int(state["probe_failures"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<DistributedService {self.name} "
                 f"components={list(self.components)}>")

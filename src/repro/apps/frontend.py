@@ -57,6 +57,14 @@ class FrontendApp(Application):
         self.sessions = max(0, self.sessions - 1)
         self.host.logged_in_users.discard(user)
 
+    def _persist_extra(self) -> dict:
+        return {"queries_served": self.queries_served,
+                "sessions": self.sessions}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.queries_served = int(extra["queries_served"])
+        self.sessions = int(extra["sessions"])
+
     def run_query(self) -> Tuple[bool, float, str]:
         """A user-level query: front-end work plus a backend round trip.
 

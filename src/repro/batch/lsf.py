@@ -182,6 +182,46 @@ class LsfCluster:
             fn(job)
         self._dispatch_cycle()
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters plus the dispatch loop's pending tick.
+
+        Batch jobs themselves are *not* serialised: checkpointable
+        configurations run with the workload generator off, so a
+        quiescent site has no jobs in any state.  A snapshot attempted
+        with live jobs is refused rather than silently lossy.
+        """
+        if self.pending or self.running or self.history:
+            raise ValueError(
+                f"cannot snapshot LSF with jobs on the books "
+                f"(pending={len(self.pending)} running={len(self.running)} "
+                f"history={len(self.history)})")
+        return {
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "dispatches": self.dispatches,
+            "crashes_caused": self.crashes_caused,
+            "loop": (self._loop.snapshot_state()
+                     if self._loop is not None else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pending = []
+        self.running = {}
+        self.history = []
+        self.jobs_done = int(state["jobs_done"])
+        self.jobs_failed = int(state["jobs_failed"])
+        self.dispatches = int(state["dispatches"])
+        self.crashes_caused = int(state["crashes_caused"])
+        if self._loop is not None and state["loop"] is not None:
+            self._loop.restore_state(state["loop"])
+
+    def claimed_seqs(self) -> List[int]:
+        if self._loop is not None:
+            return self._loop.claimed_seqs()
+        return []
+
     # -- queries (the 'pre-scripted LSF specific commands') -------------------------
 
     def bjobs(self, state: Optional[JobState] = None) -> List[BatchJob]:

@@ -7,6 +7,8 @@
     repro-exp chaos corpus --dir tests/corpus
     repro-exp chaos replay tests/corpus
     repro-exp chaos replay tests/corpus/cascade.json --planted-bug
+    repro-exp chaos replay failing.json --checkpoint-dir epochs
+    repro-exp chaos replay failing.json --from-checkpoint epochs/ep-...json
     repro-exp chaos shrink failing.json --planted-bug --out minimal.json
 
 ``run`` drives a coverage-guided fuzz campaign and prints the coverage
@@ -107,11 +109,18 @@ def _cmd_corpus(args) -> int:
 def _cmd_replay(args) -> int:
     from repro.chaos.executor import run_episode
 
+    paths = _load_scenarios(args.scenarios)
+    if args.from_checkpoint and len(paths) != 1:
+        raise SystemExit(
+            "--from-checkpoint resumes exactly one scenario file")
     failures = 0
-    for path in _load_scenarios(args.scenarios):
+    for path in paths:
         with open(path) as fh:
             sc = Scenario.from_json(fh.read())
-        ep = run_episode(sc, planted_bug=args.planted_bug)
+        ep = run_episode(sc, planted_bug=args.planted_bug,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_every=args.checkpoint_every,
+                         from_checkpoint=args.from_checkpoint)
         status = "ok" if ep.ok else "VIOLATED"
         print(f"{status:9s} {sc.scenario_id:32s} "
               f"applied={len(ep.applied)} fizzled={len(ep.fizzled)} "
@@ -177,6 +186,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_replay.add_argument("scenarios", nargs="+",
                           help="scenario JSON files or directories")
     p_replay.add_argument("--planted-bug", action="store_true")
+    p_replay.add_argument("--checkpoint-dir", default=None,
+                          help="checkpoint the whole world every "
+                               "--checkpoint-every simulated seconds "
+                               "while replaying")
+    p_replay.add_argument("--checkpoint-every", type=float, default=900.0,
+                          metavar="SECONDS")
+    p_replay.add_argument("--from-checkpoint", metavar="CKPT", default=None,
+                          help="time-travel: restore the episode at a "
+                               "saved epoch and replay only the "
+                               "remainder (one scenario file)")
 
     p_shrink = sub.add_parser("shrink",
                               help="reduce a violating scenario to a "

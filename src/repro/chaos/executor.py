@@ -151,6 +151,65 @@ def _apply_event(site, injector, ev) -> None:
         injector.inject(ev.op, target, **ev.param_dict())
 
 
+class _EpisodeBook:
+    """Snapshottable episode bookkeeping: outcome lines, coverage
+    markers and the *not-yet-fired* scenario events.
+
+    Scenario events are scheduled up front as absolute-time closures;
+    a checkpoint taken mid-episode serialises each pending event's heap
+    token plus its index into the (canonical) scenario event list, so a
+    restore re-arms ``fire(events[i])`` at the exact saved token and
+    the resumed episode applies the remaining faults beat-for-beat.
+    """
+
+    def __init__(self, ep: Episode):
+        self.ep = ep
+        self.sim = ep.site.sim
+        self.base = 0.0
+        self.fire = None                # bound by run_episode
+        self._pending: List[tuple] = []  # (event_handle, scenario index)
+
+    def arm(self, base: float, fire) -> None:
+        self.base = base
+        self.fire = fire
+        for i, ev in enumerate(self.ep.scenario.events):
+            handle = self.sim.schedule_at(base + ev.time, fire, ev)
+            self._pending.append((handle, i))
+
+    def snapshot_state(self) -> dict:
+        ep = self.ep
+        return {
+            "base": self.base,
+            "applied": list(ep.applied),
+            "fizzled": list(ep.fizzled),
+            "applied_kinds": sorted(ep.applied_kinds),
+            "fizzled_kinds": sorted(ep.fizzled_kinds),
+            "condition_markers": sorted(ep.condition_markers),
+            "pending": [[[h.time, h.priority, h.seq], i]
+                        for h, i in self._pending if h.alive],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        ep = self.ep
+        self.base = float(state["base"])
+        ep.applied = list(state["applied"])
+        ep.fizzled = list(state["fizzled"])
+        ep.applied_kinds = set(state["applied_kinds"])
+        ep.fizzled_kinds = set(state["fizzled_kinds"])
+        ep.condition_markers = set(state["condition_markers"])
+        for handle, _i in self._pending:
+            handle.cancel()
+        self._pending = []
+        events = ep.scenario.events
+        for (t, prio, seq), i in state["pending"]:
+            handle = self.sim.schedule_exact(t, prio, seq, self.fire,
+                                             events[int(i)])
+            self._pending.append((handle, int(i)))
+
+    def claimed_seqs(self) -> List[int]:
+        return [h.seq for h, _i in self._pending if h.alive]
+
+
 def _plant_bug(admin) -> None:
     """Test-only: wrap the watchdog wheel so deadlines implying a
     deep-backoff staleness gap are pushed to never-due.  The key stays
@@ -170,11 +229,21 @@ def _plant_bug(admin) -> None:
 
 
 def run_episode(scenario: Scenario, *, planted_bug: bool = False,
-                oracle_names=None) -> Episode:
+                oracle_names=None, checkpoint_dir: str = None,
+                checkpoint_every: float = 900.0,
+                from_checkpoint: str = None) -> Episode:
     """Build the site, run the scenario, judge it.
 
     Deterministic for a fixed scenario (site seed + canonical events):
     two runs produce identical decision logs, verdicts and coverage.
+
+    With ``checkpoint_dir`` the episode checkpoints the whole world
+    (site, harness books, tracer, *and* the not-yet-fired scenario
+    events) every ``checkpoint_every`` simulated seconds.  With
+    ``from_checkpoint`` the episode time-travels: it restores the
+    world at that epoch and replays only the remainder -- a violation
+    found at the end of a long scenario reproduces identically from
+    the last pre-incident checkpoint, without re-running the preamble.
     """
     from repro.chaos.coverage import signature_of
     from repro.chaos.oracles import run_oracles
@@ -206,7 +275,7 @@ def run_episode(scenario: Scenario, *, planted_bug: bool = False,
         site.ledger.on_append(collect)
 
     injector = harness.injector
-    base = site.sim.now      # site warm-up already consumed ~400 s
+    book = _EpisodeBook(ep)
 
     def fire(ev):
         line = f"{site.sim.now:.0f} {ev.op} {ev.target}"
@@ -219,9 +288,30 @@ def run_episode(scenario: Scenario, *, planted_bug: bool = False,
         ep.applied.append(line)
         ep.applied_kinds.add(ev.op)
 
-    for ev in scenario.events:
-        site.sim.schedule_at(base + ev.time, fire, ev)
-    site.run(scenario.horizon)
+    book.fire = fire
+    extras = dict(harness._extras())
+    extras["episode"] = book
+
+    if from_checkpoint is not None:
+        from repro.persist import CheckpointManager, restore_site
+        restore_site(CheckpointManager.load(from_checkpoint),
+                     site=site, extras=extras)
+    else:
+        book.arm(site.sim.now, fire)  # warm-up already consumed ~400 s
+
+    end = book.base + scenario.horizon
+    if checkpoint_dir is not None:
+        from repro.persist import CheckpointManager
+        mgr = CheckpointManager(site, checkpoint_dir,
+                                every_hours=checkpoint_every / 3600.0,
+                                retain=1_000_000, extras=extras,
+                                label=f"ep-{scenario.scenario_id}")
+        while site.sim.now < end - 1e-9:
+            site.sim.run(until=min(end, site.sim.now + checkpoint_every))
+            if site.sim.now < end - 1e-9:
+                mgr.epoch(force=True)
+    else:
+        site.sim.run(until=end)
     harness.scan_flags_for_detection()
 
     horizon = site.sim.now

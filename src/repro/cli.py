@@ -44,6 +44,12 @@ __all__ = ["main"]
 
 
 def _fig2(args) -> str:
+    if getattr(args, "full_year", False) or getattr(args, "resume", None):
+        from repro.experiments import fullyear
+        return fullyear.format_result(fullyear.run_full_year(
+            args.seed, hosts=args.hosts, hours=args.hours,
+            segments=args.segments, checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume))
     from repro.experiments import fig2
     seeds = list(range(args.seed, args.seed + args.replications))
     return fig2.format_result(fig2.run_replicated(seeds))
@@ -269,6 +275,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="write rendered markdown post-mortems "
                              "(incidents)")
+    parser.add_argument("--full-year", action="store_true",
+                        help="fig2: run the live 1000-host site for the "
+                             "whole simulated year in checkpointed "
+                             "segments instead of the campaign fast path")
+    parser.add_argument("--hosts", type=int, default=1000,
+                        help="full-year live site size (fig2 --full-year)")
+    parser.add_argument("--hours", type=float, default=8760.0,
+                        help="full-year horizon in simulated hours")
+    parser.add_argument("--segments", type=int, default=12,
+                        help="resumable segments per full-year run")
+    parser.add_argument("--checkpoint-dir", default="checkpoints",
+                        help="where epoch checkpoints land "
+                             "(fig2 --full-year)")
+    parser.add_argument("--resume", metavar="CKPT", default=None,
+                        help="resume a segmented full-year run from an "
+                             "epoch checkpoint file")
     args = parser.parse_args(argv)
 
     names = (sorted(_EXPERIMENTS) if args.experiment == "all"

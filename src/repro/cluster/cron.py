@@ -148,3 +148,61 @@ class Crond:
         """Next grid point for a job (for tests and the watchdog)."""
         job = self.jobs[name]
         return next_grid(self.sim.now, job.period, job.offset)
+
+    # -- persistence ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Jobs in crontab order with their armed-event heap tokens.
+        Job callables are structural (re-registered by the rebuild);
+        restore overwrites the counters and re-arms each pending fire at
+        its exact original token -- including off-grid demand wakes."""
+        rows = []
+        for name, job in self.jobs.items():
+            ev = self._events.get(name)
+            if ev is not None and not ev.alive:
+                ev = None
+            rows.append({
+                "name": name, "period": job.period, "offset": job.offset,
+                "enabled": job.enabled, "runs": job.runs,
+                "missed": job.missed, "demand_runs": job.demand_runs,
+                "last_run": job.last_run,
+                "event": ([ev.time, ev.priority, ev.seq]
+                          if ev is not None else None),
+            })
+        return {"running": self.running, "jobs": rows}
+
+    def restore_state(self, state: dict) -> None:
+        self.running = bool(state["running"])
+        for ev in self._events.values():
+            ev.cancel()
+        self._events.clear()
+        saved = {row["name"]: row for row in state["jobs"]}
+        unknown = [n for n in saved if n not in self.jobs]
+        if unknown:
+            raise KeyError(
+                f"{self.host.name}: snapshot has cron jobs the rebuilt "
+                f"host never registered: {unknown}")
+        for name in [n for n in self.jobs if n not in saved]:
+            del self.jobs[name]
+        # crontab order is behavioural (restart() iterates it): rebuild
+        # the dict in the snapshot's order around the fresh callables
+        jobs = {}
+        for row in state["jobs"]:
+            job = self.jobs[row["name"]]
+            job.period = float(row["period"])
+            job.offset = float(row["offset"])
+            job.enabled = bool(row["enabled"])
+            job.runs = int(row["runs"])
+            job.missed = int(row["missed"])
+            job.demand_runs = int(row["demand_runs"])
+            job.last_run = row["last_run"]
+            jobs[job.name] = job
+            tok = row["event"]
+            if tok is not None:
+                t, prio, seq = tok
+                self._events[job.name] = self.sim.schedule_exact(
+                    t, prio, seq, self._fire, job.name)
+        self.jobs = jobs
+
+    def claimed_seqs(self) -> List[int]:
+        return [ev.seq for ev in self._events.values() if ev.alive]

@@ -137,3 +137,24 @@ class HardwareInventory:
     def status_report(self) -> Dict[str, str]:
         """Component-name → state map (what ``prtdiag``-style probes show)."""
         return {c.name: c.state.value for c in self.components}
+
+    # -- persistence -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Positional: the component list is built deterministically
+        from the spec, so state rows line up index-for-index."""
+        return {
+            "components": [[c.state.value, c.error_count, c.failed_at]
+                           for c in self.components],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        rows = state["components"]
+        if len(rows) != len(self.components):
+            raise ValueError(
+                f"inventory shape changed: snapshot has {len(rows)} "
+                f"components, spec builds {len(self.components)}")
+        for comp, (st, errs, failed_at) in zip(self.components, rows):
+            comp.state = ComponentState(st)
+            comp.error_count = int(errs)
+            comp.failed_at = failed_at

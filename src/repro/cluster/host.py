@@ -64,6 +64,9 @@ class Host:
         self.state = HostState.UP
         self.booted_at = sim.now
         self.crash_count = 0
+        #: pending boot-completion event, retained so checkpoints can
+        #: claim and re-arm a mid-boot host
+        self._boot_event = None
 
         #: NICs keyed by interface name; populated by the net layer.
         self.nics: Dict[str, object] = {}
@@ -129,9 +132,11 @@ class Host:
                             "POST failed: fatal hardware fault")
             return
         self.state = HostState.BOOTING
-        self.sim.schedule(self.boot_duration, self._finish_boot)
+        self._boot_event = self.sim.schedule(self.boot_duration,
+                                             self._finish_boot)
 
     def _finish_boot(self) -> None:
+        self._boot_event = None
         if self.state is not HostState.BOOTING:
             return
         if self.inventory.fatal():
@@ -279,6 +284,74 @@ class Host:
 
     def log_error(self, tag: str, message: str) -> None:
         self.syslog.error(self.sim.now, tag, message)
+
+    # -- persistence -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Everything the host owns: OS scalars plus the nested
+        substrate (inventory, fs, ptable, syslog, crond, shell, nics).
+        Installed apps and agents snapshot through their own layers."""
+        ev = self._boot_event if (self._boot_event is not None
+                                  and self._boot_event.alive) else None
+        return {
+            "state": self.state.value,
+            "booted_at": self.booted_at,
+            "crash_count": self.crash_count,
+            "io_demand": self.io_demand,
+            "extra_runnable": self.extra_runnable,
+            "logged_in_users": sorted(self.logged_in_users),
+            "nfs_calls": self.nfs_calls,
+            "nfs_retrans": self.nfs_retrans,
+            "boot_event": ([ev.time, ev.priority, ev.seq]
+                           if ev is not None else None),
+            "up_signal": [self.up_signal.fire_count,
+                          self.up_signal.last_value],
+            "down_signal": [self.down_signal.fire_count,
+                            self.down_signal.last_value],
+            "inventory": self.inventory.snapshot_state(),
+            "fs": self.fs.snapshot_state(),
+            "ptable": self.ptable.snapshot_state(),
+            "syslog": self.syslog.snapshot_state(),
+            "crond": self.crond.snapshot_state(),
+            "shell": self.shell.snapshot_state(),
+            "nics": {name: nic.snapshot_state()
+                     for name, nic in sorted(self.nics.items())},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.state = HostState(state["state"])
+        self.booted_at = float(state["booted_at"])
+        self.crash_count = int(state["crash_count"])
+        self.io_demand = float(state["io_demand"])
+        self.extra_runnable = int(state["extra_runnable"])
+        self.logged_in_users = set(state["logged_in_users"])
+        self.nfs_calls = int(state["nfs_calls"])
+        self.nfs_retrans = int(state["nfs_retrans"])
+        self.up_signal.fire_count, self.up_signal.last_value = \
+            state["up_signal"]
+        self.down_signal.fire_count, self.down_signal.last_value = \
+            state["down_signal"]
+        self.inventory.restore_state(state["inventory"])
+        self.fs.restore_state(state["fs"])
+        self.ptable.restore_state(state["ptable"])
+        self.syslog.restore_state(state["syslog"])
+        self.crond.restore_state(state["crond"])
+        self.shell.restore_state(state["shell"])
+        for name, nic_state in state["nics"].items():
+            self.nics[name].restore_state(nic_state)
+        self._boot_event = None
+        tok = state.get("boot_event")
+        if tok is not None:
+            t, prio, seq = tok
+            self._boot_event = self.sim.schedule_exact(
+                t, prio, seq, self._finish_boot)
+
+    def claimed_seqs(self) -> list:
+        seqs = []
+        if self._boot_event is not None and self._boot_event.alive:
+            seqs.append(self._boot_event.seq)
+        seqs.extend(self.crond.claimed_seqs())
+        return seqs
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Host {self.name} {self.spec.model} {self.state.value} "

@@ -13,7 +13,6 @@ cumulative user/system/wait times advance whenever the host samples.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -91,7 +90,8 @@ class ProcessTable:
         self.hostname = hostname
         self._procs: Dict[int, SimProc] = {}
         self._by_command: Dict[str, List[SimProc]] = {}
-        self._pids = itertools.count(100)
+        # plain int (not itertools.count) so checkpoints can capture it
+        self._next_pid = 100
         self._last_advance = 0.0
         #: live taps (the trigger bus): called per individual kill;
         #: a host crash wipes the table via clear() without notifying
@@ -108,7 +108,8 @@ class ProcessTable:
     def spawn(self, user: str, command: str, args: str = "", *,
               cpu_pct: float = 0.0, mem_mb: float = 1.0,
               now: float = 0.0, owner: object = None) -> SimProc:
-        proc = SimProc(pid=next(self._pids), user=user, command=command,
+        pid, self._next_pid = self._next_pid, self._next_pid + 1
+        proc = SimProc(pid=pid, user=user, command=command,
                        args=args, cpu_pct=cpu_pct, mem_mb=mem_mb,
                        started_at=now, owner=owner)
         self._procs[proc.pid] = proc
@@ -192,3 +193,40 @@ class ProcessTable:
         for p in self._procs.values():
             p.advance(dt)
         self._last_advance = now
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Entries in insertion order (restore then reproduces both the
+        pid map and the per-command index order exactly).  ``owner``
+        object links are not serialised; owners relink their own
+        processes by pid when they restore."""
+        return {
+            "next_pid": self._next_pid,
+            "last_advance": self._last_advance,
+            "procs": [
+                {"pid": p.pid, "user": p.user, "command": p.command,
+                 "args": p.args, "cpu_pct": p.cpu_pct, "mem_mb": p.mem_mb,
+                 "state": p.state.value, "started_at": p.started_at,
+                 "micro": [p.micro.user, p.micro.system,
+                           p.micro.wait_io, p.micro.sleep]}
+                for p in self._procs.values()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._procs.clear()
+        self._by_command.clear()
+        self._next_pid = int(state["next_pid"])
+        self._last_advance = float(state["last_advance"])
+        for row in state["procs"]:
+            u, s, w, z = row["micro"]
+            proc = SimProc(
+                pid=int(row["pid"]), user=row["user"],
+                command=row["command"], args=row["args"],
+                cpu_pct=float(row["cpu_pct"]), mem_mb=float(row["mem_mb"]),
+                state=ProcState(row["state"]),
+                started_at=float(row["started_at"]),
+                micro=Microstates(user=u, system=s, wait_io=w, sleep=z))
+            self._procs[proc.pid] = proc
+            self._by_command.setdefault(proc.command, []).append(proc)

@@ -56,10 +56,15 @@ Handler = Callable[[List[str]], CommandResult]
 class Shell:
     """Per-host command dispatcher."""
 
+    #: recent command lines retained per host; a year-scale run issues
+    #: millions of agent commands, so the tail is bounded
+    HISTORY_LIMIT = 1000
+
     def __init__(self, host) -> None:
         self.host = host
         self._commands: Dict[str, Handler] = {}
         self.history: List[str] = []
+        self.history_trimmed = 0
         self._register_builtins()
 
     # -- dispatch ----------------------------------------------------------
@@ -84,6 +89,10 @@ class Shell:
         if not self.host.is_up:
             raise CommandError(f"{self.host.name}: host is down")
         self.history.append(cmdline)
+        if len(self.history) > 2 * self.HISTORY_LIMIT:
+            # amortised ring-trim (a deque would break tail slicing)
+            self.history_trimmed += len(self.history) - self.HISTORY_LIMIT
+            del self.history[:-self.HISTORY_LIMIT]
         try:
             argv = shlex.split(cmdline)
         except ValueError as exc:
@@ -97,6 +106,18 @@ class Shell:
             return handler(argv[1:])
         except Exception as exc:  # commands fail Unix-style, not Python-style
             return CommandResult.failure(1, f"{argv[0]}: {exc}")
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """History tail only; registered commands are structural (apps
+        and agents re-register their ctl scripts on rebuild)."""
+        return {"history": list(self.history),
+                "history_trimmed": self.history_trimmed}
+
+    def restore_state(self, state: dict) -> None:
+        self.history = list(state["history"])
+        self.history_trimmed = int(state["history_trimmed"])
 
     # -- built-in commands ---------------------------------------------------
 

@@ -98,3 +98,19 @@ class Syslog:
 
     def clear(self) -> None:
         self.records.clear()
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "maxlen": self.records.maxlen,
+            "total_logged": self.total_logged,
+            "records": [[r.time, r.facility, r.severity, r.tag, r.message]
+                        for r in self.records],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.records = deque(
+            (SyslogRecord(*row) for row in state["records"]),
+            maxlen=state["maxlen"])
+        self.total_logged = int(state["total_logged"])

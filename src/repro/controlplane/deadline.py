@@ -58,6 +58,32 @@ class DeadlineWheel:
             # else: rescheduled since this entry was pushed -- lazy drop
         return self._due
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deadlines and the sticky due-set; keys are serialised as
+        lists (the control plane keys on ``(host, agent)`` tuples).
+        The heap itself is derived state: lazy deletion means only the
+        entry matching ``_deadline[key]`` is ever believed, so a heap
+        rebuilt from the live deadlines is behaviour-identical."""
+        return {
+            "deadlines": [[list(k), d]
+                          for k, d in sorted(self._deadline.items())],
+            "due": [list(k) for k in sorted(self._due)],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._deadline = {tuple(k): float(d)
+                          for k, d in state["deadlines"]}
+        self._due = {tuple(k) for k in state["due"]}
+        self._heap = []
+        self._push_seq = 0
+        for key, deadline in sorted(self._deadline.items(),
+                                    key=lambda kv: (kv[1], kv[0])):
+            self._push_seq += 1
+            self._heap.append((deadline, self._push_seq, key))
+        heapq.heapify(self._heap)
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<DeadlineWheel keys={len(self._deadline)} "
                 f"due={len(self._due)}>")

@@ -179,6 +179,52 @@ class ConditionLedger:
         self.floor = (self._entries[0].version - 1 if self._entries
                       else self.version)
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Entries, version watermarks and every cursor's position.
+        Push listeners are structural (re-wired at rebuild)."""
+        names = [c.name for c in self._cursors]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"cannot snapshot ledger with duplicate cursor names: "
+                f"{sorted(names)}")
+        return {
+            "maxlen": self.maxlen,
+            "version": self.version,
+            "floor": self.floor,
+            "appended": self.appended,
+            "trimmed": self.trimmed,
+            "push_errors": self.push_errors,
+            "entries": [[c.version, c.kind, c.host, c.agent, c.status,
+                         c.time, c.detail] for c in self._entries],
+            "cursors": {c.name: [c.last_seen, c.polls, c.consumed,
+                                 c.overruns] for c in self._cursors},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.maxlen = int(state["maxlen"])
+        self.version = int(state["version"])
+        self.floor = int(state["floor"])
+        self.appended = int(state["appended"])
+        self.trimmed = int(state["trimmed"])
+        self.push_errors = int(state["push_errors"])
+        self._entries = deque(
+            Condition(int(v), kind, host, agent, status, float(t), detail)
+            for v, kind, host, agent, status, t, detail in state["entries"])
+        saved = state["cursors"]
+        names = {c.name for c in self._cursors}
+        if set(saved) != names:
+            raise KeyError(
+                f"ledger snapshot cursors {sorted(saved)} != rebuilt "
+                f"cursors {sorted(names)}")
+        for c in self._cursors:
+            last_seen, polls, consumed, overruns = saved[c.name]
+            c.last_seen = int(last_seen)
+            c.polls = int(polls)
+            c.consumed = int(consumed)
+            c.overruns = int(overruns)
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<ConditionLedger v{self.version} "
                 f"backlog={len(self._entries)} "

@@ -712,6 +712,101 @@ class AdministrationServers:
         head.syslog.warning(self.sim.now, "admin-servers",
                             f"pool write failed ({where}): {exc}")
 
+    # -- persistence ----------------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The coordinator pair's whole evolving model.  Cron jobs are
+        re-armed through each head's crond snapshot; the ledger and its
+        cursors (including this object's two) snapshot with the ledger
+        itself.  DLSPs and the DGSPL ride the loss-free ontology codec;
+        DLSP insertion order is preserved because the incremental DGSPL
+        assembly iterates arrival order."""
+        return {
+            "intervals": [[list(k), v]
+                          for k, v in sorted(self._intervals.items())],
+            "demand_woken": dict(sorted(self._demand_woken.items())),
+            "demand_wakes": self.demand_wakes,
+            # -inf means "never flagged"; keep the snapshot strict-JSON
+            "latest_flags": [
+                [list(k), None if v == _NEG_INF else v]
+                for k, v in sorted(self._latest_flags.items())],
+            "wheel": self._wheel.snapshot_state(),
+            "down_hosts": sorted(self._down_hosts),
+            "suite_order": dict(sorted(self._suite_order.items())),
+            "decisions": list(self.decisions),
+            "decision_log": [list(d) for d in self.decision_log],
+            "sweep_mismatches": self.sweep_mismatches,
+            "dgspl_mismatches": self.dgspl_mismatches,
+            "model_resyncs": self.model_resyncs,
+            "dgspl_cache": {
+                host: [[e.server, e.server_type, e.os, e.ram_mb, e.cpus,
+                        e.app_name, e.app_type, e.app_version,
+                        e.current_load, e.users, e.location, e.site]
+                       for e in entries]
+                for host, entries in sorted(self._dgspl_cache.items())},
+            "registered_at": dict(sorted(self._registered_at.items())),
+            "dlsps": [[host, dlsp.to_doc().render()]
+                      for host, dlsp in self.dlsps.items()],
+            "dgspl": (self.dgspl.to_doc().render()
+                      if self.dgspl is not None else None),
+            "dgspl_generations": self.dgspl_generations,
+            "cron_repairs": self.cron_repairs,
+            "hosts_escalated": sorted(self.hosts_escalated),
+            "recovered_since": sorted(self._recovered_since),
+            "pool_write_failures": self.pool_write_failures,
+            "failovers": self.failovers,
+            "last_active": self._last_active,
+            "services_unhealthy": sorted(self.services_unhealthy),
+            "service_probes": self.service_probes,
+            "service_probe_failures": self.service_probe_failures,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.ontology.base import OntologyDoc
+        from repro.ontology.dgspl import GlobalServiceEntry
+        saved_suites = set(state["registered_at"])
+        if saved_suites != set(self.suites):
+            raise KeyError(
+                f"admin snapshot watches {sorted(saved_suites)} != "
+                f"rebuilt suites {sorted(self.suites)}")
+        self._intervals = {tuple(k): float(v)
+                           for k, v in state["intervals"]}
+        self._demand_woken = {h: float(t)
+                              for h, t in state["demand_woken"].items()}
+        self.demand_wakes = int(state["demand_wakes"])
+        self._latest_flags = {
+            tuple(k): (_NEG_INF if v is None else float(v))
+            for k, v in state["latest_flags"]}
+        self._wheel.restore_state(state["wheel"])
+        self._down_hosts = set(state["down_hosts"])
+        self._suite_order = {h: int(i)
+                             for h, i in state["suite_order"].items()}
+        self.decisions = list(state["decisions"])
+        self.decision_log = [(float(t), a, h, r)
+                             for t, a, h, r in state["decision_log"]]
+        self.sweep_mismatches = int(state["sweep_mismatches"])
+        self.dgspl_mismatches = int(state["dgspl_mismatches"])
+        self.model_resyncs = int(state["model_resyncs"])
+        self._dgspl_cache = {
+            host: [GlobalServiceEntry(*row) for row in rows]
+            for host, rows in state["dgspl_cache"].items()}
+        self._registered_at = {h: float(t)
+                               for h, t in state["registered_at"].items()}
+        self.dlsps = {host: Dlsp.from_doc(OntologyDoc.parse(lines))
+                      for host, lines in state["dlsps"]}
+        self.dgspl = (Dgspl.from_doc(OntologyDoc.parse(state["dgspl"]))
+                      if state["dgspl"] is not None else None)
+        self.dgspl_generations = int(state["dgspl_generations"])
+        self.cron_repairs = int(state["cron_repairs"])
+        self.hosts_escalated = set(state["hosts_escalated"])
+        self._recovered_since = set(state["recovered_since"])
+        self.pool_write_failures = int(state["pool_write_failures"])
+        self.failovers = int(state["failovers"])
+        self._last_active = state["last_active"]
+        self.services_unhealthy = set(state["services_unhealthy"])
+        self.service_probes = int(state["service_probes"])
+        self.service_probe_failures = int(state["service_probe_failures"])
+
     # -- queries --------------------------------------------------------------------------------
 
     def current_dgspl(self, max_age: Optional[float] = None) -> Optional[Dgspl]:

@@ -97,6 +97,8 @@ class Intelliagent:
         self.stats = RunStats()
         self._proc = None
         self._busy_until = 0.0
+        #: pending lockout-release event, retained for checkpoints
+        self._busy_event = None
         #: last wake interval the control plane saw (base is implicit);
         #: re-offered every run until the transport accepts it
         self._published_interval = self.period
@@ -199,7 +201,7 @@ class Intelliagent:
         finally:
             if busy > 0.0:
                 self._busy_until = self.sim.now + busy
-                self.sim.schedule(busy, self._end_proc)
+                self._busy_event = self.sim.schedule(busy, self._end_proc)
             else:
                 self._end_proc()
             self._adapt_period(found=bool(findings))
@@ -363,6 +365,76 @@ class Intelliagent:
             self.host.ptable.kill(self._proc.pid)
             self._proc = None
         self._busy_until = 0.0
+        self._busy_event = None
+
+    # -- persistence -----------------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Run counters, lockout state (process link by pid plus the
+        pending release event) and the adaptive wake controller.
+        Subclasses ride along via :meth:`_persist_extra`."""
+        ev = self._busy_event if (self._busy_event is not None
+                                  and self._busy_event.alive) else None
+        s = self.stats
+        return {
+            "stats": [s.runs, s.skipped, s.faults_found, s.heals_attempted,
+                      s.heals_succeeded, s.escalations, s.demand_wakes,
+                      s.cpu_seconds],
+            "proc_pid": self._proc.pid if self._proc is not None else None,
+            "busy_until": self._busy_until,
+            "busy_event": ([ev.time, ev.priority, ev.seq]
+                           if ev is not None else None),
+            "published_interval": self._published_interval,
+            "attempts": dict(self._attempts),
+            "escalated": sorted(self._escalated),
+            "wake": self.wake.snapshot_state(),
+            "extra": self._persist_extra(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Runs after the host restored its process table; a mid-lockout
+        agent relinks its process entry by pid."""
+        (self.stats.runs, self.stats.skipped, self.stats.faults_found,
+         self.stats.heals_attempted, self.stats.heals_succeeded,
+         self.stats.escalations, self.stats.demand_wakes,
+         self.stats.cpu_seconds) = state["stats"]
+        pid = state["proc_pid"]
+        if pid is None:
+            self._proc = None
+        else:
+            proc = self.host.ptable.get(pid)
+            if proc is None:
+                raise KeyError(
+                    f"{self.name}: snapshot agent pid {pid} missing from "
+                    f"{self.host.name}'s restored table")
+            proc.owner = self
+            self._proc = proc
+        self._busy_until = float(state["busy_until"])
+        if self._busy_event is not None:
+            self._busy_event.cancel()
+            self._busy_event = None
+        tok = state.get("busy_event")
+        if tok is not None:
+            t, prio, seq = tok
+            self._busy_event = self.sim.schedule_exact(
+                t, prio, seq, self._end_proc)
+        self._published_interval = float(state["published_interval"])
+        self._attempts = {k: int(v) for k, v in state["attempts"].items()}
+        self._escalated = set(state["escalated"])
+        self.wake.restore_state(state["wake"])
+        self._restore_extra(state["extra"])
+
+    def _persist_extra(self) -> dict:
+        """Subclass state rider (perf/status agents carry counters)."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        pass
+
+    def claimed_seqs(self) -> List[int]:
+        if self._busy_event is not None and self._busy_event.alive:
+            return [self._busy_event.seq]
+        return []
 
     # -- introspection ---------------------------------------------------------------------------------
 

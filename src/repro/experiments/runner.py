@@ -101,6 +101,52 @@ class FidelityHarness:
                     inc.detected_at = flag.time
                     break
 
+    # -- persistence ---------------------------------------------------------------------
+
+    def _extras(self) -> Dict[str, object]:
+        """The harness-owned stateful components, by stable names (the
+        same names a resumed harness restores into)."""
+        return {"downtime": self.ledger, "injector": self.injector}
+
+    def snapshot(self) -> dict:
+        """Whole-world checkpoint: the site plus the harness books."""
+        from repro.persist import snapshot_site
+        return snapshot_site(self.site, extras=self._extras())
+
+    @classmethod
+    def resume(cls, snapshot: dict) -> "FidelityHarness":
+        """Rebuild the snapshotted world and return a live harness.
+
+        The fresh site is built first, the harness wires its watchers
+        around it (structural -- subscriptions carry no state), and
+        only then is every layer overwritten from the snapshot, so the
+        restored heap is exactly the claimed set."""
+        from repro.experiments.site import SiteConfig, build_site
+        from repro.persist import restore_site
+        site = build_site(SiteConfig(**snapshot["config"]))
+        harness = cls(site)
+        restore_site(snapshot, site=site, extras=harness._extras())
+        return harness
+
+    def summary(self) -> dict:
+        """The byte-comparable run digest the determinism contract
+        diffs between monolithic and segmented runs."""
+        cats = self.ledger.hours_by_category(as_of=self.sim.now)
+        out = {
+            "now": self.sim.now,
+            "events_processed": self.sim.events_processed,
+            "downtime_hours": {c.value: round(h, 9)
+                               for c, h in sorted(cats.items(),
+                                                  key=lambda kv: kv[0].value)},
+            "incidents": len(self.ledger.incidents),
+            "open_incidents": len(self.open_incidents()),
+            "faults_injected": len(self.injector.injected),
+            "notifications": self.site.notifications.count(),
+        }
+        if self.site.admin is not None:
+            out["decisions"] = list(self.site.admin.decisions)
+        return out
+
     # -- convenience ---------------------------------------------------------------------
 
     def run_hours(self, hours: float) -> None:

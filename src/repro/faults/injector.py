@@ -119,6 +119,9 @@ class FaultInjector:
         self.injected: List[FaultEvent] = []
         #: injections rejected because the target was already broken
         self.rejected_overlaps = 0
+        #: pending Poisson arrivals as (event, category), retained so a
+        #: checkpoint can re-arm the not-yet-fired tail of a campaign
+        self._arrivals: List[Tuple[object, Category]] = []
 
     # -- overlap validation ------------------------------------------------------
 
@@ -403,7 +406,9 @@ class FaultInjector:
             lam = rate * horizon / 86400.0
             n = int(self.rng.poisson(lam))
             for t in self.rng.uniform(0.0, horizon, size=n):
-                self.sim.schedule(float(t), self._fire_random, category)
+                ev = self.sim.schedule(float(t), self._fire_random,
+                                       category)
+                self._arrivals.append((ev, category))
                 scheduled += 1
         return scheduled
 
@@ -412,6 +417,44 @@ class FaultInjector:
             self.random_fault(category)
         except ValueError:
             pass        # no eligible target right now: the fault fizzles
+
+    # -- persistence -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The injection history plus the not-yet-fired arrival tail."""
+        return {
+            "injected": [[e.category.value, e.kind, e.time, e.target,
+                          e.fault_id, e.detected_at, e.repaired_at,
+                          e.auto_repaired, e.prevented]
+                         for e in self.injected],
+            "rejected_overlaps": self.rejected_overlaps,
+            "arrivals": [[[ev.time, ev.priority, ev.seq], cat.value]
+                         for ev, cat in self._arrivals if ev.alive],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.injected = []
+        for cat, kind, t, target, fid, det, rep, auto, prev in \
+                state["injected"]:
+            ev = FaultEvent(Category(cat), kind, float(t), target)
+            ev.fault_id = fid
+            ev.detected_at = det
+            ev.repaired_at = rep
+            ev.auto_repaired = auto
+            ev.prevented = bool(prev)
+            self.injected.append(ev)
+        self.rejected_overlaps = int(state["rejected_overlaps"])
+        for ev, _cat in self._arrivals:
+            ev.cancel()
+        self._arrivals = []
+        for (t, prio, seq), cat in state["arrivals"]:
+            category = Category(cat)
+            ev = self.sim.schedule_exact(t, prio, seq, self._fire_random,
+                                         category)
+            self._arrivals.append((ev, category))
+
+    def claimed_seqs(self) -> List[int]:
+        return [ev.seq for ev, _cat in self._arrivals if ev.alive]
 
     # -- helpers -----------------------------------------------------------------
 

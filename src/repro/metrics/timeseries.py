@@ -92,6 +92,20 @@ class TimeSeries:
             self._v_arr = np.asarray(self._v, dtype=np.float64)
         return self._v_arr
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"maxlen": self.maxlen, "dropped": self.dropped,
+                "t": list(self._t), "v": list(self._v)}
+
+    def restore_state(self, state: dict) -> None:
+        self.maxlen = state["maxlen"]
+        self.dropped = int(state["dropped"])
+        self._t = [float(x) for x in state["t"]]
+        self._v = [float(x) for x in state["v"]]
+        self._t_arr = None
+        self._v_arr = None
+
     # -- statistics -----------------------------------------------------------
 
     def mean(self) -> float:

@@ -55,6 +55,26 @@ class NameService:
             return -1.0
         return self.base_response_ms * (50.0 if self.degraded else 1.0)
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Records too, not just health: spare promotion and cutovers
+        can register names after build, so the table is state."""
+        return {
+            "records": dict(sorted(self.records.items())),
+            "up": self.up,
+            "degraded": self.degraded,
+            "lookups": self.lookups,
+            "failures": self.failures,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.records = dict(state["records"])
+        self.up = bool(state["up"])
+        self.degraded = bool(state["degraded"])
+        self.lookups = int(state["lookups"])
+        self.failures = int(state["failures"])
+
     def fail(self) -> None:
         self.up = False
 

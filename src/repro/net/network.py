@@ -45,6 +45,28 @@ class Nic:
     def repair(self) -> None:
         self.ok = True
 
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"ok": self.ok,
+                "packets_in": self.packets_in,
+                "packets_out": self.packets_out,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "errors_in": self.errors_in,
+                "errors_out": self.errors_out,
+                "collisions": self.collisions}
+
+    def restore_state(self, state: dict) -> None:
+        self.ok = bool(state["ok"])
+        self.packets_in = int(state["packets_in"])
+        self.packets_out = int(state["packets_out"])
+        self.bytes_in = int(state["bytes_in"])
+        self.bytes_out = int(state["bytes_out"])
+        self.errors_in = int(state["errors_in"])
+        self.errors_out = int(state["errors_out"])
+        self.collisions = int(state["collisions"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Nic {self.host.name}:{self.ifname} on {self.lan.name}>"
 
@@ -153,6 +175,24 @@ class Lan:
         self.total_bytes += nbytes
         self.total_messages += 1
         return (True, latency)
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Segment state only; per-NIC counters snapshot with their
+        hosts (membership itself is structural)."""
+        return {"up": self.up,
+                "window_bytes": self._window_bytes,
+                "window_start": self._window_start,
+                "total_bytes": self.total_bytes,
+                "total_messages": self.total_messages}
+
+    def restore_state(self, state: dict) -> None:
+        self.up = bool(state["up"])
+        self._window_bytes = float(state["window_bytes"])
+        self._window_start = float(state["window_start"])
+        self.total_bytes = int(state["total_bytes"])
+        self.total_messages = int(state["total_messages"])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.up else "DOWN"

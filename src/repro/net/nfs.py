@@ -44,6 +44,22 @@ class SharedPool:
                 client.nfs_retrans += 1
             raise FsOfflineError("nfs: server not responding")
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Pool contents plus the nfsstat counters; serving heads are
+        structural (re-attached at rebuild)."""
+        return {
+            "fs": self.fs.snapshot_state(),
+            "calls": self.calls,
+            "failed_calls": self.failed_calls,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.fs.restore_state(state["fs"])
+        self.calls = int(state["calls"])
+        self.failed_calls = int(state["failed_calls"])
+
     # -- proxied file operations --------------------------------------------
 
     def write(self, client, path: str, lines) -> None:

@@ -94,6 +94,25 @@ class AgentChannel:
                   nbytes: int = 2048) -> List[Delivery]:
         return [self.send(src_name, d, nbytes) for d in dst_names]
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "rerouted": self.rerouted,
+            "failed": self.failed,
+            "bytes_by_lan": dict(sorted(self.bytes_by_lan.items())),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.sent = int(state["sent"])
+        self.delivered = int(state["delivered"])
+        self.rerouted = int(state["rerouted"])
+        self.failed = int(state["failed"])
+        self.bytes_by_lan = {k: int(v)
+                             for k, v in state["bytes_by_lan"].items()}
+
     def stats(self) -> Dict[str, float]:
         return {
             "sent": self.sent,

@@ -293,6 +293,60 @@ class AlertManager:
                 return fid
         return ""
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Alert lifecycles, detector baselines and counters.  Active
+        alerts are saved as indices into the history list so
+        ``_transition``'s ``history.remove`` keeps operating on the
+        same objects after a restore."""
+        index = {id(a): i for i, a in enumerate(self.history)}
+        return {
+            "detectors": {key: [det.mean, det.var, det.samples,
+                                det.last_score]
+                          for key, det in sorted(self._detectors.items())},
+            "det_seen": dict(sorted(self._det_seen.items())),
+            "history": [[a.key, a.subject, a.severity, a.opened_at,
+                         a.state, a.fired_at, a.resolved_at,
+                         a.last_active, a.fault_id, a.value, a.threshold,
+                         a.pages, a.escalated, list(a.notes)]
+                        for a in self.history],
+            "active": {key: index[id(a)]
+                       for key, a in sorted(self._active.items())},
+            "pages_sent": self.pages_sent,
+            "flaps_suppressed": self.flaps_suppressed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        saved = state["detectors"]
+        if set(saved) != set(self._detectors):
+            raise KeyError(
+                f"alert snapshot detectors {sorted(saved)} != rebuilt "
+                f"{sorted(self._detectors)}")
+        for key, det in self._detectors.items():
+            mean, var, samples, last_score = saved[key]
+            det.mean = float(mean)
+            det.var = float(var)
+            det.samples = int(samples)
+            det.last_score = float(last_score)
+        self._det_seen = {k: float(v)
+                          for k, v in state["det_seen"].items()}
+        self.history = []
+        for (key, subject, severity, opened_at, st, fired_at,
+             resolved_at, last_active, fault_id, value, threshold, pages,
+             escalated, notes) in state["history"]:
+            self.history.append(Alert(
+                key=key, subject=subject, severity=severity,
+                opened_at=float(opened_at), state=st, fired_at=fired_at,
+                resolved_at=resolved_at, last_active=float(last_active),
+                fault_id=fault_id, value=float(value),
+                threshold=float(threshold), pages=int(pages),
+                escalated=bool(escalated), notes=list(notes)))
+        self._active = {key: self.history[int(i)]
+                        for key, i in state["active"].items()}
+        self.pages_sent = int(state["pages_sent"])
+        self.flaps_suppressed = int(state["flaps_suppressed"])
+
     # -- queries -------------------------------------------------------------
 
     def firing(self) -> List[Alert]:

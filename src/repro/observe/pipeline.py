@@ -65,6 +65,9 @@ class TelemetryHub:
         #: retained condition deltas (the ledger itself trims eagerly;
         #: incident reports need the recent history, ring-bounded here)
         self.condition_log: deque = deque(maxlen=16 * self.maxlen)
+        #: deltas the ring cap pushed out -- reports reaching further
+        #: back than the retained history should know they are clipped
+        self.condition_log_dropped = 0
         #: hosts currently down according to ledger host conditions
         self.hosts_down: set = set()
         self.ticks = 0
@@ -99,6 +102,8 @@ class TelemetryHub:
         self.events_in += 1
         self.conditions_by_kind[cond.kind] = (
             self.conditions_by_kind.get(cond.kind, 0) + 1)
+        if len(self.condition_log) == self.condition_log.maxlen:
+            self.condition_log_dropped += 1
         self.condition_log.append(cond)
         now = self.sim.now
         if cond.kind == "host":
@@ -196,3 +201,61 @@ class TelemetryHub:
         return {key: {"len": len(s), "last": s.last(),
                       "dropped": s.dropped}
                 for key, s in sorted(self._series.items())}
+
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Ring series, tallies and the rollup tick.  Sources (ledger,
+        SLIs, rollup listeners) are structural wiring."""
+        return {
+            "series": {key: s.snapshot_state()
+                       for key, s in sorted(self._series.items())},
+            "prev_counters": dict(sorted(self._prev_counters.items())),
+            "conditions_by_kind": dict(
+                sorted(self.conditions_by_kind.items())),
+            "condition_log": [[c.version, c.kind, c.host, c.agent,
+                               c.status, c.time, c.detail]
+                              for c in self.condition_log],
+            "condition_log_dropped": self.condition_log_dropped,
+            "hosts_down": sorted(self.hosts_down),
+            "ticks": self.ticks,
+            "events_in": self.events_in,
+            "running": self._running,
+            "event": ([self._event.time, self._event.priority,
+                       self._event.seq]
+                      if self._event is not None and self._event.alive
+                      else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.controlplane.ledger import Condition
+        self._series = {}
+        for key, s in state["series"].items():
+            ts = self._series[key] = TimeSeries(key, maxlen=self.maxlen)
+            ts.restore_state(s)
+        self._prev_counters = {k: float(v)
+                               for k, v in state["prev_counters"].items()}
+        self.conditions_by_kind = {k: int(v) for k, v
+                                   in state["conditions_by_kind"].items()}
+        self.condition_log = deque(
+            (Condition(int(v), kind, host, agent, status, float(t), detail)
+             for v, kind, host, agent, status, t, detail
+             in state["condition_log"]),
+            maxlen=16 * self.maxlen)
+        self.condition_log_dropped = int(state["condition_log_dropped"])
+        self.hosts_down = set(state["hosts_down"])
+        self.ticks = int(state["ticks"])
+        self.events_in = int(state["events_in"])
+        self._running = bool(state["running"])
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        token = state["event"]
+        if token is not None:
+            t, prio, seq = token
+            self._event = self.sim.schedule_exact(t, prio, seq, self._tick)
+
+    def claimed_seqs(self) -> List[int]:
+        if self._event is not None and self._event.alive:
+            return [self._event.seq]
+        return []

@@ -107,6 +107,31 @@ class DowntimeLedger:
         self.incidents.append(inc)
         return inc
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Incidents plus the open-incident index (as positions into
+        the incident list, so identity survives the round trip)."""
+        index = {id(inc): i for i, inc in enumerate(self.incidents)}
+        return {
+            "incidents": [[i.category.value, i.target, i.start, i.end,
+                           i.detected_at, i.auto_repaired, i.escalated,
+                           i.note] for i in self.incidents],
+            "open": {target: index[id(inc)]
+                     for target, inc in self._open.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.incidents = []
+        for cat, target, start, end, det, auto, esc, note in \
+                state["incidents"]:
+            self.incidents.append(Incident(
+                Category(cat), target, float(start), end=end,
+                detected_at=det, auto_repaired=auto, escalated=bool(esc),
+                note=note))
+        self._open = {target: self.incidents[int(i)]
+                      for target, i in state["open"].items()}
+
     # -- aggregation -----------------------------------------------------------
 
     def closed(self) -> List[Incident]:

@@ -119,6 +119,42 @@ class NotificationChannel:
     def sms(self, recipient: str, subject: str, **kw) -> Notification:
         return self.send("sms", recipient, subject, **kw)
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The whole ledger; dedup bookkeeping references are saved as
+        indices into the sent list so folding keeps mutating the same
+        records after a restore."""
+        index = {id(n): i for i, n in enumerate(self.sent)}
+        return {
+            "sent": [[n.time, n.medium, n.recipient, n.subject, n.body,
+                      n.severity, n.sender, n.suppressed]
+                     for n in self.sent],
+            "suppressed_total": self.suppressed_total,
+            "suppressed_by_recipient": dict(
+                sorted(self.suppressed_by_recipient.items())),
+            "last_sent": [[list(key), index[id(n)]]
+                          for key, n in self._last_sent.items()],
+            "recent": {r: list(times)
+                       for r, times in sorted(self._recent.items())},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.sent = [Notification(float(t), medium, recipient, subject,
+                                  body, severity, sender,
+                                  suppressed=int(sup))
+                     for t, medium, recipient, subject, body, severity,
+                     sender, sup in state["sent"]]
+        self.suppressed_total = int(state["suppressed_total"])
+        self.suppressed_by_recipient = defaultdict(int)
+        for r, n in state["suppressed_by_recipient"].items():
+            self.suppressed_by_recipient[r] = int(n)
+        self._last_sent = {tuple(key): self.sent[int(i)]
+                           for key, i in state["last_sent"]}
+        self._recent = defaultdict(deque)
+        for r, times in state["recent"].items():
+            self._recent[r] = deque(float(t) for t in times)
+
     # -- queries -------------------------------------------------------------
 
     def since(self, t: float) -> List[Notification]:

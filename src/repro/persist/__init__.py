@@ -1,0 +1,33 @@
+"""Epoch checkpoint/restore across the world state.
+
+Every stateful layer of the reproduction exposes the
+:class:`~repro.persist.core.Snapshottable` pair --
+``snapshot_state() -> dict`` / ``restore_state(state)`` -- plus, for
+components that own pending kernel events, ``claimed_seqs()``.  This
+package assembles those per-component protocols into whole-world
+checkpoints:
+
+- :mod:`repro.persist.core` -- the protocol, the canonical-JSON state
+  hash, and :class:`~repro.persist.core.QuiescenceError`.
+- :mod:`repro.persist.site_state` -- :func:`snapshot_site` /
+  :func:`restore_site`: walk a built :class:`~repro.experiments.site.Site`
+  section by section, verifying that *every* live heap event is claimed
+  by exactly one component before a checkpoint is allowed, and re-arm
+  pending events at their exact ``(time, priority, seq)`` tokens on
+  restore so a resumed run is byte-identical to the monolithic one.
+- :mod:`repro.persist.checkpoint` -- :class:`CheckpointManager`: epoch
+  barriers between run segments, atomic writes, retention, and the
+  deferred-barrier policy for non-quiescent moments.
+"""
+
+from repro.persist.core import (FORMAT_VERSION, QuiescenceError,
+                                Snapshottable, canonical_json, state_hash)
+from repro.persist.site_state import restore_site, snapshot_site
+from repro.persist.checkpoint import CheckpointManager
+
+__all__ = [
+    "FORMAT_VERSION", "QuiescenceError", "Snapshottable",
+    "canonical_json", "state_hash",
+    "snapshot_site", "restore_site",
+    "CheckpointManager",
+]

@@ -237,3 +237,36 @@ class ServiceRelocator:
                 severity="critical", sender="relocator")
         return
         yield   # pragma: no cover - makes this a generator for delegation
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Refuses while a relocation is in flight: the failover is a
+        live generator process and cannot be re-armed from state.  The
+        checkpoint manager treats this as a non-quiescent barrier and
+        defers to the next epoch."""
+        if self.active:
+            raise ValueError(
+                f"cannot snapshot with in-flight relocations: "
+                f"{sorted(self.active)}")
+        return {
+            "records": [[r.subject, r.source_host, r.started,
+                         r.target_host, r.fault_id, r.finished,
+                         r.success, r.cold, r.phase, r.reason]
+                        for r in self.records],
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.active = {}
+        self.records = []
+        for (subject, source, started, target, fid, finished, success,
+             cold, phase, reason) in state["records"]:
+            self.records.append(RelocationRecord(
+                subject=subject, source_host=source, started=float(started),
+                target_host=target, fault_id=fid, finished=finished,
+                success=bool(success), cold=bool(cold), phase=phase,
+                reason=reason))
+        self.succeeded = int(state["succeeded"])
+        self.failed = int(state["failed"])

@@ -76,6 +76,17 @@ class RerouteDirectory:
                                agent=old_app.name, status="cutover",
                                detail=old_app.app_type)
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters only; doors re-register at rebuild and carry their
+        own state."""
+        return {"cutovers": self.cutovers, "drains": self.drains}
+
+    def restore_state(self, state: dict) -> None:
+        self.cutovers = int(state["cutovers"])
+        self.drains = int(state["drains"])
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         tiers = sum(len(v) for v in self.doors.values())
         return f"<RerouteDirectory doors={tiers} cutovers={self.cutovers}>"

@@ -85,6 +85,20 @@ class SparePool:
     def claimed_for(self, host_name: str) -> Optional[str]:
         return self.claims.get(host_name)
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Claims only; templates are structural (registered at build
+        from the same deterministic site construction)."""
+        return {"claims": dict(sorted(self.claims.items())),
+                "claims_made": self.claims_made,
+                "claims_released": self.claims_released}
+
+    def restore_state(self, state: dict) -> None:
+        self.claims = dict(state["claims"])
+        self.claims_made = int(state["claims_made"])
+        self.claims_released = int(state["claims_released"])
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<SparePool spares={len(self.templates)} "
                 f"claimed={len(self.claims)}>")

@@ -21,7 +21,6 @@ explicit priority, then by insertion sequence number.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -269,7 +268,9 @@ class Simulator:
     def __init__(self, start: float = 0.0):
         self.now = float(start)
         self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: next insertion sequence number (a plain int, not an
+        #: itertools.count, so checkpoints can capture and restore it)
+        self._seq = 0
         self._running = False
         self.events_processed = 0
         #: observability hook; the shared disabled tracer by default so
@@ -288,7 +289,8 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0 or math.isnan(delay):
             raise ValueError(f"negative or NaN delay: {delay!r}")
-        ev = Event(self.now + delay, priority, next(self._seq), fn, args)
+        seq, self._seq = self._seq, self._seq + 1
+        ev = Event(self.now + delay, priority, seq, fn, args)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -298,7 +300,28 @@ class Simulator:
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time} before now={self.now}")
-        ev = Event(float(time), priority, next(self._seq), fn, args)
+        seq, self._seq = self._seq, self._seq + 1
+        ev = Event(float(time), priority, seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_exact(self, time: float, priority: int, seq: int,
+                       fn: Callable[..., Any], *args: Any) -> Event:
+        """Re-arm a restored event at its exact original heap token.
+
+        Checkpoint restore rebuilds pending events with the ``(time,
+        priority, seq)`` they held when the snapshot was taken, so the
+        resumed run pops them in byte-identical order.  The insertion
+        counter is *not* consumed -- the kernel's own counter is restored
+        separately -- but it is bumped past ``seq`` defensively so a
+        partially restored kernel can never mint a duplicate token.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot re-arm at {time} before now={self.now}")
+        if seq >= self._seq:
+            self._seq = seq + 1
+        ev = Event(float(time), int(priority), int(seq), fn, args)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -388,6 +411,37 @@ class Simulator:
         """Number of live events still queued (O(n); for tests/debug)."""
         return sum(1 for ev in self._heap if ev.alive)
 
+    # -- persistence -----------------------------------------------------
+
+    def live_events(self) -> list[Event]:
+        """The live heap entries in firing order (the persist layer walks
+        this to verify every pending event is claimed by a component
+        snapshot before a checkpoint is allowed)."""
+        return sorted((ev for ev in self._heap if ev.alive),
+                      key=lambda ev: (ev.time, ev.priority, ev.seq))
+
+    def clear_events(self) -> None:
+        """Tombstone and drop every queued event.  Restore uses this to
+        wipe the freshly built world's schedule before re-arming the
+        snapshot's pending events at their exact tokens."""
+        for ev in self._heap:
+            ev._alive = False
+        self._heap.clear()
+
+    def snapshot_state(self) -> dict:
+        """Kernel scalars only; pending events are claimed and re-armed
+        by the components that own them (see repro.persist)."""
+        return {
+            "now": self.now,
+            "next_seq": self._seq,
+            "events_processed": self.events_processed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.now = float(state["now"])
+        self._seq = int(state["next_seq"])
+        self.events_processed = int(state["events_processed"])
+
     # -- conveniences ----------------------------------------------------
 
     def every(self, period: float, fn: Callable[..., Any], *args: Any,
@@ -451,3 +505,35 @@ class Periodic:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters plus the pending tick's heap token (fn/args are
+        structural -- the rebuilt controller supplies them)."""
+        ev = self._event if self._event is not None and self._event.alive \
+            else None
+        return {
+            "fire_count": self.fire_count,
+            "cancelled": self.cancelled,
+            "event": ([ev.time, ev.priority, ev.seq]
+                      if ev is not None else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm the next tick at its exact saved token (the fresh
+        controller's own pending event is cancelled first)."""
+        self.fire_count = int(state["fire_count"])
+        self.cancelled = bool(state["cancelled"])
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        tok = state.get("event")
+        if tok is not None:
+            t, prio, seq = tok
+            self._event = self.sim.schedule_exact(t, prio, seq, self._tick)
+
+    def claimed_seqs(self) -> list[int]:
+        if self._event is not None and self._event.alive:
+            return [self._event.seq]
+        return []

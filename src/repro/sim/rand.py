@@ -79,6 +79,33 @@ class RandomStreams:
     def names(self) -> Iterator[str]:
         return iter(self._streams)
 
+    # -- explicit state (the persistence layer's prerequisite) ---------------
+
+    def getstate(self) -> dict:
+        """Seed plus the bit-generator state of every materialised
+        stream, as plain dicts.  ``setstate(getstate())`` reproduces the
+        exact draw sequence of every stream mid-run."""
+        return {
+            "seed": self.seed,
+            "streams": {name: self._streams[name].bit_generator.state
+                        for name in sorted(self._streams)},
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore from :meth:`getstate`.  Streams absent from the saved
+        state are dropped back to unmaterialised (they will be re-derived
+        from the root seed on first use, exactly as a fresh namespace
+        would)."""
+        if int(state["seed"]) != self.seed:
+            raise ValueError(
+                f"stream state was saved under seed {state['seed']!r}, "
+                f"this namespace has seed {self.seed!r}")
+        for name in list(self._streams):
+            if name not in state["streams"]:
+                del self._streams[name]
+        for name, bg_state in state["streams"].items():
+            self.get(name).bit_generator.state = bg_state
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<RandomStreams seed={self.seed} streams={len(self._streams)}>"
 

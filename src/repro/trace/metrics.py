@@ -185,6 +185,35 @@ class MetricsRegistry:
                 for n, h in sorted(self._histograms.items())},
         }
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Unlike :meth:`snapshot` (a rendered export), this is the
+        loss-free form a checkpoint restores from."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {"bounds": list(h.bounds), "counts": list(h.counts),
+                    "count": h.count, "total": h.total}
+                for n, h in sorted(self._histograms.items())},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for name, value in state["counters"].items():
+            self.counter(name).value = float(value)
+        for name, value in state["gauges"].items():
+            self.gauge(name).value = float(value)
+        for name, h in state["histograms"].items():
+            hist = self.histogram(name, h["bounds"])
+            hist.counts = [int(c) for c in h["counts"]]
+            hist.count = int(h["count"])
+            hist.total = float(h["total"])
+
     def __len__(self) -> int:
         return (len(self._counters) + len(self._gauges)
                 + len(self._histograms))

@@ -24,7 +24,6 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.trace.metrics import MetricsRegistry
@@ -133,7 +132,8 @@ class Tracer:
         self._stack: List[Span] = []
         self._clock = clock
         self._correlations: Dict[str, str] = {}
-        self._fault_seq = itertools.count(1)
+        # plain int so checkpoints can capture and restore it
+        self._fault_seq = 1
 
     # -- clock ---------------------------------------------------------------
 
@@ -187,7 +187,8 @@ class Tracer:
     # -- fault correlation ---------------------------------------------------
 
     def new_fault_id(self) -> str:
-        return f"F{next(self._fault_seq):04d}"
+        seq, self._fault_seq = self._fault_seq, self._fault_seq + 1
+        return f"F{seq:04d}"
 
     def correlate(self, target: str, fault_id: str) -> None:
         """Bind an injection target to a fault id.  The target is also
@@ -230,6 +231,49 @@ class Tracer:
         self.spans.clear()
         self.instants.clear()
         self._stack.clear()
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The full record -- spans (parents encoded as indices into
+        the span list), instants, correlations and metrics -- so chaos
+        reports and incident reconciliation built after a restore are
+        byte-identical to the uninterrupted run.  Refuses to snapshot
+        mid-operation: the open-span stack must be empty."""
+        if self._stack:
+            raise ValueError(
+                f"cannot snapshot tracer with {len(self._stack)} open "
+                f"span(s): {[sp.name for sp in self._stack]}")
+        index = {id(sp): i for i, sp in enumerate(self.spans)}
+        return {
+            "enabled": self.enabled,
+            "capture_resumes": self.capture_resumes,
+            "next_fault_seq": self._fault_seq,
+            # insertion order is load-bearing: fault_id_for scans for
+            # the first suffix match
+            "correlations": dict(self._correlations),
+            "spans": [[sp.name, sp.start, sp.end, dict(sp.attrs),
+                       index.get(id(sp.parent))] for sp in self.spans],
+            "instants": [[i["name"], i["ts"], dict(i["args"])]
+                         for i in self.instants],
+            "metrics": self.metrics.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = bool(state["enabled"])
+        self.capture_resumes = bool(state["capture_resumes"])
+        self._fault_seq = int(state["next_fault_seq"])
+        self._correlations = dict(state["correlations"])
+        self.spans = []
+        self._stack = []
+        for name, start, end, attrs, parent_idx in state["spans"]:
+            parent = self.spans[parent_idx] if parent_idx is not None else None
+            sp = Span(self, name, float(start), dict(attrs), parent)
+            sp.end = None if end is None else float(end)
+            self.spans.append(sp)
+        self.instants = [{"name": name, "ts": float(ts), "args": dict(args)}
+                         for name, ts, args in state["instants"]]
+        self.metrics.restore_state(state["metrics"])
 
     def __repr__(self) -> str:
         state = "on" if self.enabled else "off"

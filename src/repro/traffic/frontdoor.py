@@ -181,6 +181,35 @@ class FrontDoor:
         self._rr_offset = (self._rr_offset + extra) % k
         return [(a, c) for a, c in zip(apps, counts) if c > 0]
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The server set is part of the state: relocation cutovers may
+        have swapped instances in, so the (host, app) pairs are saved
+        and re-resolved at restore rather than trusting the rebuild."""
+        return {"apps": [[a.host.name, a.name] for a in self.apps],
+                "down": sorted(self._down),
+                "rr_offset": self._rr_offset,
+                "routed": self.routed,
+                "shed_total": self.shed_total,
+                "rr_batches": self.rr_batches,
+                "weighted_batches": self.weighted_batches,
+                "conditions_applied": self.conditions_applied}
+
+    def restore_state(self, state: dict, resolve_app) -> None:
+        """``resolve_app(host_name, app_name)`` must return the live
+        application instance in the restored site."""
+        self.apps = [resolve_app(host, name)
+                     for host, name in state["apps"]]
+        self.apps.sort(key=lambda a: (a.host.name, a.name))
+        self._down = set(state["down"])
+        self._rr_offset = int(state["rr_offset"])
+        self.routed = int(state["routed"])
+        self.shed_total = int(state["shed_total"])
+        self.rr_batches = int(state["rr_batches"])
+        self.weighted_batches = int(state["weighted_batches"])
+        self.conditions_applied = int(state["conditions_applied"])
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<FrontDoor {self.app_type} servers={len(self.apps)} "
                 f"down={len(self._down)}>")

@@ -108,6 +108,26 @@ class Sli:
                 "latency_p50_ms": self.latency_quantile(0.50),
                 "latency_p99_ms": self.latency_quantile(0.99)}
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"attempted": self.attempted, "served": self.served,
+                "shed": self.shed,
+                "latency": {"bounds": list(self.latency.bounds),
+                            "counts": list(self.latency.counts),
+                            "count": self.latency.count,
+                            "total": self.latency.total}}
+
+    def restore_state(self, state: dict) -> None:
+        self.attempted = float(state["attempted"])
+        self.served = float(state["served"])
+        self.shed = float(state["shed"])
+        h = state["latency"]
+        self.latency = Histogram(f"{self.name}.latency_ms", h["bounds"])
+        self.latency.counts = [int(c) for c in h["counts"]]
+        self.latency.count = int(h["count"])
+        self.latency.total = float(h["total"])
+
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<Sli {self.name} avail={self.availability:.6f} "
                 f"n={self.attempted:g}>")

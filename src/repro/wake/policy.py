@@ -76,6 +76,20 @@ class WakePolicy:
         self.resets += 1
         return True
 
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"current_period": self.current_period,
+                "backoffs": self.backoffs,
+                "resets": self.resets,
+                "triggers": self.triggers}
+
+    def restore_state(self, state: dict) -> None:
+        self.current_period = float(state["current_period"])
+        self.backoffs = int(state["backoffs"])
+        self.resets = int(state["resets"])
+        self.triggers = int(state["triggers"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<WakePolicy {self.mode} {self.current_period:g}s "
                 f"[{self.base_period:g}..{self.max_period:g}]>")

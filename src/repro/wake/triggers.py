@@ -120,6 +120,25 @@ class TriggerBus:
                 woken += 1
         return woken
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Cooldown clocks and counters; subscriptions and source taps
+        are structural (re-wired when the suite is rebuilt)."""
+        return {"enabled": self.enabled,
+                "last_wake": dict(sorted(self._last_wake.items())),
+                "published": self.published,
+                "demand_wakes": self.demand_wakes,
+                "suppressed": self.suppressed}
+
+    def restore_state(self, state: dict) -> None:
+        self.enabled = bool(state["enabled"])
+        self._last_wake = {k: float(v)
+                           for k, v in state["last_wake"].items()}
+        self.published = int(state["published"])
+        self.demand_wakes = int(state["demand_wakes"])
+        self.suppressed = int(state["suppressed"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<TriggerBus {self.host.name} subs={len(self._subs)} "
                 f"woken={self.demand_wakes}>")

@@ -1,0 +1,106 @@
+"""Memory discipline: every unbounded-looking collection is ringed.
+
+A year-scale run appends to shell histories, telemetry series and the
+condition log millions of times; these regression tests pin (a) the
+caps actually trim, (b) the ``dropped``/``trimmed`` counters own up to
+what was clipped, and (c) the trimmed state survives a snapshot round
+trip -- so a resumed segment inherits bounded books, not a fresh leak.
+"""
+
+from collections import deque
+
+from repro.controlplane.ledger import ConditionLedger
+from repro.metrics.timeseries import TimeSeries
+from repro.observe.pipeline import TelemetryHub
+
+
+class _FakeSim:
+    now = 0.0
+
+
+# -- shell history -----------------------------------------------------------
+
+
+def test_shell_history_ring_trims_and_counts(db_host):
+    shell = db_host.shell
+    limit = shell.HISTORY_LIMIT
+    for i in range(2 * limit + 5):
+        shell.run(f"echo {i}")
+    assert len(shell.history) <= 2 * limit
+    assert shell.history_trimmed > 0
+    assert shell.history_trimmed + len(shell.history) == 2 * limit + 5
+    # the retained tail is the newest commands, oldest dropped
+    assert shell.history[-1] == f"echo {2 * limit + 4}"
+    assert "echo 0" not in shell.history
+
+
+def test_shell_history_trim_survives_snapshot(db_host):
+    shell = db_host.shell
+    for i in range(2 * shell.HISTORY_LIMIT + 1):
+        shell.run(f"true {i}")
+    state = shell.snapshot_state()
+    other = type(shell)(db_host)
+    other.restore_state(state)
+    assert other.history == shell.history
+    assert other.history_trimmed == shell.history_trimmed
+
+
+# -- timeseries rings --------------------------------------------------------
+
+
+def test_timeseries_ring_bounds_growth_and_counts():
+    ts = TimeSeries("x", maxlen=10)
+    for i in range(100):
+        ts.append(float(i), float(i))
+    assert len(ts) < 2 * 10
+    assert ts.dropped + len(ts) == 100
+    # clipped lookups fall back to the oldest *retained* sample
+    assert ts.value_at(0.0) == ts.times[0]
+
+
+# -- telemetry condition log -------------------------------------------------
+
+
+def test_condition_log_ring_drops_and_counts():
+    hub = TelemetryHub(_FakeSim(), maxlen=2)   # log cap = 16 * 2 = 32
+    ledger = ConditionLedger()
+    hub.attach_ledger(ledger)
+    for i in range(40):
+        ledger.append("flag", "db01", status="fault", time=float(i))
+    cap = 16 * 2
+    assert isinstance(hub.condition_log, deque)
+    assert len(hub.condition_log) == cap
+    assert hub.condition_log_dropped == 40 - cap
+    assert hub.events_in == 40
+    # newest retained, oldest shed
+    assert hub.condition_log[-1].time == 39.0
+    assert hub.condition_log[0].time == float(40 - cap)
+
+
+# -- condition ledger backlog cap --------------------------------------------
+
+
+def test_ledger_force_trim_counts_and_flags_overrun():
+    ledger = ConditionLedger(maxlen=8)
+    cursor = ledger.subscribe("slow")
+    for i in range(20):
+        ledger.append("flag", "db01", time=float(i))
+    assert ledger.backlog() <= 8
+    assert ledger.trimmed == 20 - ledger.backlog()
+    retained = ledger.backlog()
+    fresh, overrun = cursor.poll()
+    assert overrun                       # the cap blew past this cursor
+    assert cursor.overruns == 1
+    assert len(fresh) == retained        # only the survivors are seen
+    assert fresh[-1].version == 20
+
+
+def test_ledger_cursor_driven_trim_keeps_backlog_small():
+    ledger = ConditionLedger(maxlen=1 << 18)
+    cursor = ledger.subscribe("fast")
+    for i in range(50):
+        ledger.append("flag", "db01", time=float(i))
+        cursor.poll()                    # consume eagerly
+    assert ledger.backlog() == 0         # everything consumed -> trimmed
+    assert ledger.trimmed == 50
+    assert cursor.overruns == 0

@@ -1,0 +1,165 @@
+"""Unit coverage for :mod:`repro.persist`: the codec, the quiescence
+gate, the checkpoint files, and the restore-time mismatch checks.
+
+The end-to-end byte-identity guarantee lives in
+``tests/integration/test_persist_contract.py``; these tests pin the
+sharp edges each piece promises on its own.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import FidelityHarness
+from repro.experiments.site import SiteConfig, build_site
+from repro.persist import (FORMAT_VERSION, CheckpointManager,
+                           QuiescenceError, canonical_json, snapshot_site,
+                           state_hash)
+
+
+def _site(**kw):
+    defaults = dict(seed=0, with_workload=False, with_feeds=False)
+    defaults.update(kw)
+    return build_site(SiteConfig.test_scale(**defaults))
+
+
+# -- codec ---------------------------------------------------------------------
+
+
+def test_canonical_json_is_key_order_independent():
+    a = canonical_json({"b": 1, "a": [1, 2], "c": {"y": 0, "x": 1}})
+    b = canonical_json({"c": {"x": 1, "y": 0}, "a": [1, 2], "b": 1})
+    assert a == b
+    assert state_hash({"b": 1, "a": 2}) == state_hash({"a": 2, "b": 1})
+
+
+def test_canonical_json_trips_on_non_finite_floats():
+    with pytest.raises(ValueError):
+        canonical_json({"bad": float("nan")})
+    with pytest.raises(ValueError):
+        canonical_json({"bad": float("inf")})
+
+
+# -- snapshot gate -------------------------------------------------------------
+
+
+def test_snapshot_declares_format_version():
+    site = _site()
+    site.run(3600.0)
+    snap = snapshot_site(site)
+    assert snap["format"] == FORMAT_VERSION
+    assert canonical_json(snap)        # whole snapshot is JSON-clean
+
+
+def test_snapshot_refuses_workload_configs():
+    site = _site(with_workload=True)
+    with pytest.raises(QuiescenceError):
+        snapshot_site(site)
+
+
+def test_snapshot_state_hash_covers_everything_else():
+    site = _site()
+    site.run(1800.0)
+    snap = snapshot_site(site)
+    recorded = snap.pop("state_hash")
+    assert state_hash(snap) == recorded
+
+
+# -- restore mismatch checks ---------------------------------------------------
+
+
+def test_restore_rejects_other_format_versions():
+    from repro.persist import restore_site
+    site = _site()
+    site.run(600.0)
+    snap = snapshot_site(site)
+    snap["format"] = FORMAT_VERSION + 1
+    with pytest.raises(ValueError):
+        restore_site(snap)
+
+
+def test_restore_rejects_missing_extras():
+    from repro.persist import restore_site
+    harness = FidelityHarness(_site())
+    harness.run_hours(0.25)
+    snap = harness.snapshot()          # carries downtime + injector
+    fresh = _site()
+    with pytest.raises(KeyError):
+        restore_site(snap, site=fresh)  # no extras offered
+
+
+def test_restore_rejects_config_mismatch():
+    from repro.persist import restore_site
+    site = _site(seed=1)
+    site.run(600.0)
+    snap = snapshot_site(site)
+    other = _site(seed=2)
+    with pytest.raises(ValueError):
+        restore_site(snap, site=other)
+
+
+# -- checkpoint files ----------------------------------------------------------
+
+
+def _manager(tmp_path, **kw):
+    harness = FidelityHarness(_site())
+    defaults = dict(every_hours=1.0, extras=harness._extras())
+    defaults.update(kw)
+    return harness, CheckpointManager(harness.site, str(tmp_path),
+                                      **defaults)
+
+
+def test_epoch_honours_cadence_and_force(tmp_path):
+    harness, mgr = _manager(tmp_path, every_hours=2.0)
+    harness.run_hours(1.0)
+    assert not mgr.due()
+    assert mgr.epoch() is None         # not due, no file
+    path = mgr.epoch(force=True)
+    assert path is not None and os.path.exists(path)
+    harness.run_hours(2.0)
+    assert mgr.due()
+    assert mgr.epoch() is not None
+    assert mgr.stats()["written"] == 2
+
+
+def test_checkpoint_write_is_atomic_and_newline_terminated(tmp_path):
+    harness, mgr = _manager(tmp_path)
+    harness.run_hours(0.5)
+    path = mgr.epoch(force=True)
+    assert not os.path.exists(path + ".tmp")
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    assert raw.endswith(b"\n")
+    snap = json.loads(raw)
+    assert snap["state_hash"] == mgr.last_hash
+
+
+def test_retention_keeps_newest_n(tmp_path):
+    harness, mgr = _manager(tmp_path, retain=2)
+    for _ in range(4):
+        harness.run_hours(1.0)
+        assert mgr.epoch(force=True) is not None
+    kept = mgr.checkpoints()
+    assert len(kept) == 2
+    assert mgr.latest(str(tmp_path)) == kept[-1]
+    # the newest survives and names the latest sim hour
+    assert kept[-1] == mgr.last_path
+
+
+def test_latest_ignores_other_labels_and_empty_dirs(tmp_path):
+    assert CheckpointManager.latest(str(tmp_path / "absent")) is None
+    harness, mgr = _manager(tmp_path, label="alpha")
+    harness.run_hours(0.5)
+    path = mgr.epoch(force=True)
+    assert CheckpointManager.latest(str(tmp_path), "alpha") == path
+    assert CheckpointManager.latest(str(tmp_path), "beta") is None
+    assert CheckpointManager.load(path)["format"] == FORMAT_VERSION
+
+
+def test_constructor_validates_knobs(tmp_path):
+    harness = FidelityHarness(_site())
+    with pytest.raises(ValueError):
+        CheckpointManager(harness.site, str(tmp_path), every_hours=0.0)
+    with pytest.raises(ValueError):
+        CheckpointManager(harness.site, str(tmp_path), retain=0)

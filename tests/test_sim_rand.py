@@ -61,3 +61,52 @@ def test_names_listing():
     rs.get("one")
     rs.get("two")
     assert set(rs.names()) == {"one", "two"}
+
+
+# -- explicit state round trips (the persistence layer's prerequisite) --------
+
+def test_getstate_setstate_reproduces_draw_sequence():
+    rs = RandomStreams(13)
+    rs.get("a").random(100)
+    rs.get("b").integers(1000, size=7)
+    state = rs.getstate()
+    want_a = rs.get("a").random(25).tolist()
+    want_b = rs.get("b").integers(1000, size=25).tolist()
+
+    rs2 = RandomStreams(13)
+    rs2.setstate(state)
+    assert rs2.get("a").random(25).tolist() == want_a
+    assert rs2.get("b").integers(1000, size=25).tolist() == want_b
+
+
+def test_setstate_drops_streams_absent_from_snapshot():
+    rs = RandomStreams(5)
+    rs.get("kept").random(3)
+    state = rs.getstate()
+    rs.get("extra").random(3)           # materialised after the snapshot
+    rs.setstate(state)
+    assert set(rs.names()) == {"kept"}
+    # the dropped stream re-derives from the root seed, as if fresh
+    fresh = RandomStreams(5).get("extra").random(4).tolist()
+    assert rs.get("extra").random(4).tolist() == fresh
+
+
+def test_setstate_rejects_wrong_seed():
+    state = RandomStreams(1).getstate()
+    try:
+        RandomStreams(2).setstate(state)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("seed mismatch must raise")
+
+
+def test_getstate_is_json_serialisable():
+    import json
+    rs = RandomStreams(9)
+    rs.get("x").random(11)
+    blob = json.dumps(rs.getstate(), sort_keys=True)
+    rs2 = RandomStreams(9)
+    rs2.setstate(json.loads(blob))
+    assert (rs2.get("x").random(5).tolist()
+            == rs.get("x").random(5).tolist())
