@@ -29,10 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Set
 
-from repro.chaos.scenario import Scenario, parse_target
+from repro.chaos.scenario import Scenario, parse_target, split_site
 from repro.faults.injector import OverlappingFaultError
 
-__all__ = ["Episode", "run_episode", "PLANTED_GAP"]
+__all__ = ["Episode", "FederationEpisode", "run_episode",
+           "run_federation_episode", "PLANTED_GAP"]
 
 #: staleness gaps deeper than this get mis-armed when the planted bug
 #: is on (base period + one backoff + grace = 900; deep backoff > 1500)
@@ -109,6 +110,8 @@ def _resolve(site, selector: str):
         return site.nameservice
     elif pool == "lsf":
         return site.lsf_master
+    elif pool == "wan":
+        return None     # a single site has no leased lines to cut
     else:
         raise ValueError(f"unknown target pool {pool!r}")
     if not seq:
@@ -228,6 +231,158 @@ def _plant_bug(admin) -> None:
     wheel.set_deadline = mis_arm
 
 
+@dataclass
+class FederationEpisode:
+    """One multi-site scenario's run: the federation, per-site shim
+    episodes for the oracles, outcomes and coverage.  Exposes the same
+    verdict surface as :class:`Episode` so replay tooling is agnostic."""
+
+    scenario: Scenario
+    fed: object
+    episodes: dict = field(default_factory=dict)
+    horizon: float = 0.0
+    applied: List[str] = field(default_factory=list)
+    fizzled: List[str] = field(default_factory=list)
+    applied_kinds: Set[str] = field(default_factory=set)
+    fizzled_kinds: Set[str] = field(default_factory=set)
+    verdicts: List = field(default_factory=list)
+    coverage: FrozenSet[str] = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def violated(self) -> List[str]:
+        return [v.oracle for v in self.verdicts if not v.ok]
+
+    @property
+    def violations(self) -> List[str]:
+        return [msg for v in self.verdicts for msg in v.violations]
+
+    def summary(self) -> dict:
+        return {
+            "scenario_id": self.scenario.scenario_id,
+            "scenario_json": self.scenario.to_json(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "violated": self.violated,
+            "coverage": sorted(self.coverage),
+            "applied": len(self.applied),
+            "fizzled": len(self.fizzled),
+        }
+
+
+def run_federation_episode(scenario: Scenario,
+                           oracle_names=None) -> FederationEpisode:
+    """One multi-site scenario against a live federation.
+
+    Builds the canonical 3-site federation (every site in ``paired``
+    control-plane mode so the scan-ledger oracle bites), serves geo
+    traffic throughout, applies the scenario's events at their absolute
+    times -- site-scoped selectors resolve inside their named site,
+    ``wan[i]`` selects the i-th site's leased lines -- and judges every
+    site with the same oracle set as a single-site episode.
+    """
+    from repro.chaos.coverage import signature_of
+    from repro.chaos.oracles import OracleVerdict, run_oracles
+    from repro.experiments.runner import FidelityHarness
+    from repro.federation import build_federation
+    from repro.federation.config import three_site_config
+
+    scenario = scenario.normalized()
+    scenario.validate()
+    if scenario.sites != 3:
+        raise ValueError(
+            f"federated episodes run the canonical 3-site world; "
+            f"got sites={scenario.sites}")
+
+    config = three_site_config(population=60_000, seed=scenario.seed)
+    for spec in config.sites:
+        spec.config.control_plane = "paired"
+    fed = build_federation(config)
+    names = sorted(fed.sites)
+
+    fep = FederationEpisode(scenario=scenario, fed=fed)
+    harnesses = {}
+    for name in names:
+        site = fed.sites[name]
+        harnesses[name] = FidelityHarness(site)
+        shim = Episode(scenario=scenario, site=site,
+                       harness=harnesses[name], horizon=scenario.horizon)
+        if site.ledger is not None:
+            def collect(cond, _shim=shim):
+                _shim.condition_markers.add(f"cond:{cond.kind}")
+                if cond.status:
+                    _shim.condition_markers.add(
+                        f"cond:{cond.kind}:{cond.status}")
+            site.ledger.on_append(collect)
+        fep.episodes[name] = shim
+
+    def apply_event(ev) -> None:
+        line = f"{fed.now:.0f} {ev.op} {ev.target}"
+        try:
+            site_name, rest = split_site(ev.target)
+            pool, idx = parse_target(rest)
+            if pool == "wan":
+                wan_site = names[idx % len(names)]
+                if ev.op == "wan-repair":
+                    if all(l.reachable() for l in
+                           fed.wan.links_of(wan_site)):
+                        raise OverlappingFaultError(
+                            ev.op, f"wan:{wan_site}", "no cut lines")
+                    fed.wan.repair_site(wan_site)
+                else:
+                    harnesses[names[0]].injector.inject(
+                        ev.op, (fed.wan, wan_site), **ev.param_dict())
+            else:
+                if site_name not in fed.sites:
+                    site_name = names[0]
+                site = fed.sites[site_name]
+                _apply_event(site, harnesses[site_name].injector, ev)
+        except ValueError as exc:   # includes OverlappingFaultError
+            fep.fizzled.append(f"{line} ({exc})")
+            fep.fizzled_kinds.add(ev.op)
+            return
+        fep.applied.append(line)
+        fep.applied_kinds.add(ev.op)
+
+    fed.start_traffic()
+    base = fed.now
+    for ev in scenario.events:     # already time-sorted (normalized)
+        at = base + ev.time
+        if at > fed.now:
+            fed.run(at - fed.now)
+        apply_event(ev)
+    end = base + scenario.horizon
+    if end > fed.now:
+        fed.run(end - fed.now)
+    for name in names:
+        harnesses[name].scan_flags_for_detection()
+
+    fep.horizon = fed.now
+    coverage = set()
+    for name in names:
+        shim = fep.episodes[name]
+        shim.horizon = fed.sites[name].sim.now
+        for v in run_oracles(shim, oracle_names):
+            fep.verdicts.append(OracleVerdict(
+                f"{name}:{v.oracle}", v.ok, v.violations))
+        shim.coverage = signature_of(shim)
+        coverage |= shim.coverage
+    coverage |= {f"fault:{k}" for k in fep.applied_kinds}
+    coverage |= {f"fizzle:{k}" for k in fep.fizzled_kinds}
+    if fed.site_loss_events:
+        coverage.add("fed:site-loss")
+    if fed.site_recovery_events:
+        coverage.add("fed:site-recovery")
+    if fed.crosssite is not None and fed.crosssite.succeeded:
+        coverage.add("fed:takeover:ok")
+    if fed.geo is not None and fed.geo.remote_steered:
+        coverage.add("fed:geo-steered")
+    fep.coverage = frozenset(coverage)
+    return fep
+
+
 def run_episode(scenario: Scenario, *, planted_bug: bool = False,
                 oracle_names=None, checkpoint_dir: str = None,
                 checkpoint_every: float = 900.0,
@@ -245,6 +400,12 @@ def run_episode(scenario: Scenario, *, planted_bug: bool = False,
     found at the end of a long scenario reproduces identically from
     the last pre-incident checkpoint, without re-running the preamble.
     """
+    if scenario.sites != 1:
+        if planted_bug or checkpoint_dir or from_checkpoint:
+            raise ValueError("multi-site episodes support neither the "
+                             "planted bug nor checkpointing")
+        return run_federation_episode(scenario, oracle_names)
+
     from repro.chaos.coverage import signature_of
     from repro.chaos.oracles import run_oracles
     from repro.experiments.runner import FidelityHarness

@@ -116,7 +116,10 @@ class ScenarioFuzzer:
         self.rng = RandomStreams(self.seed).get("chaos.fuzzer")
         if corpus is None:
             corpus = list(build_corpus(self.seed).values())
-        self.corpus: List[Scenario] = [s.normalized() for s in corpus]
+        # the fuzzer mutates single-site worlds; federated scenarios
+        # replay through their own episode path, not through here
+        self.corpus: List[Scenario] = [s.normalized() for s in corpus
+                                       if s.sites == 1]
         if not self.corpus:
             self.corpus = [random_scenario(self.rng, f"gen{i:03d}",
                                            seed=self.seed)
@@ -214,7 +217,7 @@ class ScenarioFuzzer:
         return Scenario(
             name=f"fz{self._children:05d}", events=list(events),
             horizon=parent.horizon if horizon is None else horizon,
-            seed=parent.seed,
+            seed=parent.seed, sites=parent.sites,
             notes=f"mutant of {parent.name}").normalized()
 
     def mutate(self, parent: Scenario) -> Scenario:

@@ -16,9 +16,14 @@ Target selectors
     ``admhost[i]``                          host pools (by group)
     ``lan[i]``                              public LAN segments
     ``dns`` ``lsf``                         singletons
+    ``wan[i]``                              a federated site's leased
+                                            lines (multi-site only)
 
 Indices wrap modulo the pool size, so a scenario written against a
-large site still resolves on a test-scale one.
+large site still resolves on a test-scale one.  Multi-site scenarios
+(``sites > 1``) may scope any selector to one datacentre with a
+``site:`` prefix -- ``nyc:dbhost[0]`` -- which single-site episodes
+simply ignore.
 
 Compositions the builders cover: correlated cascades, gray
 failures/flapping, partitions with fault overlays, adversarial timing
@@ -31,12 +36,13 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.faults.injector import FAULT_CATALOG
 
 __all__ = ["ChaosEvent", "Scenario", "OPS", "TARGET_POOLS", "BUILDERS",
-           "build_corpus", "random_scenario"]
+           "build_corpus", "random_scenario", "parse_target",
+           "split_site", "make_target"]
 
 #: wake-policy constants the adversarial-timing builders aim at
 WAKE_BASE = 300.0
@@ -55,6 +61,7 @@ REPAIR_OPS: Dict[str, str] = {
     "dns-repair": "nameservice",
     "host-crash": "host",
     "host-boot": "host",
+    "wan-repair": "wan",
 }
 
 #: op name -> required target kind ("database"/"app"/"host"/"lan"/...)
@@ -74,6 +81,7 @@ TARGET_POOLS: Dict[str, Tuple[str, ...]] = {
     "lan": ("lan",),
     "dns": ("nameservice",),
     "lsf": ("scheduler",),
+    "wan": ("wan",),
 }
 
 #: pools eligible per target kind (for generation/retargeting)
@@ -84,12 +92,25 @@ POOLS_FOR_KIND: Dict[str, Tuple[str, ...]] = {
     "lan": ("lan",),
     "nameservice": ("dns",),
     "scheduler": ("lsf",),
+    "wan": ("wan",),
 }
 
 
-def parse_target(selector: str) -> Tuple[str, int]:
-    """``"db[3]"`` -> ``("db", 3)``; bare ``"dns"`` -> ``("dns", 0)``."""
+def split_site(selector: str) -> Tuple[Optional[str], str]:
+    """``"nyc:db[0]"`` -> ``("nyc", "db[0]")``; an unscoped selector
+    returns ``(None, selector)``.  Site scoping only means something to
+    multi-site scenarios; single-site episodes ignore the prefix."""
     sel = selector.strip()
+    if ":" in sel:
+        site, _, rest = sel.partition(":")
+        return site, rest
+    return None, sel
+
+
+def parse_target(selector: str) -> Tuple[str, int]:
+    """``"db[3]"`` -> ``("db", 3)``; bare ``"dns"`` -> ``("dns", 0)``.
+    Any site scope is stripped first (see :func:`split_site`)."""
+    _site, sel = split_site(selector)
     if sel.endswith("]") and "[" in sel:
         pool, _, idx = sel[:-1].partition("[")
         if not idx.isdigit():
@@ -158,6 +179,10 @@ class Scenario:
     #: site seed (build layout + every named random stream)
     seed: int = 0
     notes: str = ""
+    #: how many federated sites the episode builds; 1 = the classic
+    #: single-site world (and the field is omitted from the JSON, so
+    #: the committed single-site corpus stays byte-identical)
+    sites: int = 1
 
     # -- hygiene -------------------------------------------------------------
 
@@ -170,12 +195,15 @@ class Scenario:
         events = [replace(e, time=min(max(0.0, e.time), horizon - 1.0))
                   for e in events]
         return Scenario(name=self.name, events=events, horizon=horizon,
-                        seed=int(self.seed), notes=self.notes)
+                        seed=int(self.seed), notes=self.notes,
+                        sites=int(self.sites))
 
     def validate(self) -> None:
         """Raise ValueError on any malformed field."""
         if not self.name:
             raise ValueError("scenario needs a name")
+        if self.sites < 1:
+            raise ValueError(f"sites must be >= 1: {self.sites!r}")
         if not (MIN_HORIZON <= self.horizon <= MAX_HORIZON):
             raise ValueError(f"horizon {self.horizon!r} outside "
                              f"[{MIN_HORIZON}, {MAX_HORIZON}]")
@@ -203,13 +231,16 @@ class Scenario:
     # -- JSON round-trip -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "name": self.name,
             "seed": self.seed,
             "horizon": self.horizon,
             "notes": self.notes,
             "events": [e.to_dict() for e in self.events],
         }
+        if self.sites != 1:
+            d["sites"] = self.sites
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "Scenario":
@@ -218,7 +249,8 @@ class Scenario:
                            for e in d.get("events", ())],
                    horizon=float(d.get("horizon", 4 * 3600.0)),
                    seed=int(d.get("seed", 0)),
-                   notes=str(d.get("notes", "")))
+                   notes=str(d.get("notes", "")),
+                   sites=int(d.get("sites", 1)))
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
@@ -232,9 +264,9 @@ class Scenario:
 
 
 def _sc(name: str, events: Iterable[ChaosEvent], *, horizon: float,
-        seed: int = 0, notes: str = "") -> Scenario:
+        seed: int = 0, notes: str = "", sites: int = 1) -> Scenario:
     s = Scenario(name=name, events=list(events), horizon=horizon,
-                 seed=seed, notes=notes).normalized()
+                 seed=seed, notes=notes, sites=sites).normalized()
     s.validate()
     return s
 
@@ -387,6 +419,24 @@ def admin_failover(seed: int = 0) -> Scenario:
         notes="coordinator failover under load")
 
 
+def site_loss(seed: int = 0) -> Scenario:
+    """Federated site loss with split-brain: New York's leased lines
+    drop first (the surviving sites stop hearing from it), then every
+    user-facing host there dies -- geo-steering and the cross-site
+    relocation tier must carry its region until the line returns."""
+    events = [ChaosEvent(1800.0, "wan-partition", "wan[2]")]
+    for i in range(4):
+        events.append(ChaosEvent(2100.0 + 60.0 * i, "host-crash",
+                                 f"nyc:dbhost[{i}]"))
+    for i in range(2):
+        events.append(ChaosEvent(2400.0 + 60.0 * i, "host-crash",
+                                 f"nyc:fehost[{i}]"))
+    events.append(ChaosEvent(7200.0, "wan-repair", "wan[2]"))
+    return _sc("site-loss", events, horizon=3 * 3600.0, seed=seed,
+               sites=3,
+               notes="split-brain then total site loss of nyc")
+
+
 #: name -> builder; the committed corpus is exactly these, per seed
 BUILDERS: Dict[str, Callable[[int], Scenario]] = {
     "cascade": cascade,
@@ -402,6 +452,7 @@ BUILDERS: Dict[str, Callable[[int], Scenario]] = {
     "hw-attrition": hw_attrition,
     "lsf-mid-batch": lsf_mid_batch,
     "admin-failover": admin_failover,
+    "site-loss": site_loss,
 }
 
 
@@ -413,8 +464,9 @@ def build_corpus(seed: int = 0) -> Dict[str, Scenario]:
 # -- generation (fuzzer seeding) ------------------------------------------------
 
 #: ops a generated event may use (host-boot only makes sense after a
-#: crash, so generation pairs it; repairs likewise)
-_GEN_FAULTS = tuple(s.kind for s in FAULT_CATALOG)
+#: crash, so generation pairs it; repairs likewise).  WAN faults need
+#: a federation, so single-site generation never draws them.
+_GEN_FAULTS = tuple(s.kind for s in FAULT_CATALOG if s.target != "wan")
 
 
 def random_event(rng, horizon: float) -> ChaosEvent:

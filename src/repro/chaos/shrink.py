@@ -71,7 +71,7 @@ class _Prober:
 def _with_events(base: Scenario, events: Sequence) -> Scenario:
     return Scenario(name=base.name, events=list(events),
                     horizon=base.horizon, seed=base.seed,
-                    notes=base.notes).normalized()
+                    notes=base.notes, sites=base.sites).normalized()
 
 
 def _ddmin_events(base: Scenario, prober: _Prober) -> Tuple[Scenario, int]:
@@ -135,7 +135,8 @@ def _shrink_horizon(base: Scenario, prober: _Prober) -> Scenario:
                      if current.horizon - floor > 2 * SETTLE else floor)
         candidate = Scenario(name=current.name, events=current.events,
                              horizon=target, seed=current.seed,
-                             notes=current.notes).normalized()
+                             notes=current.notes,
+                             sites=current.sites).normalized()
         if prober.violates(candidate):
             current = candidate
         else:
@@ -160,6 +161,7 @@ def shrink(scenario: Scenario,
     current = _shrink_horizon(current, prober)
     shrunk = Scenario(name=f"{scenario.name}-min", events=current.events,
                       horizon=current.horizon, seed=current.seed,
+                      sites=current.sites,
                       notes=(f"shrunk from {scenario.scenario_id} "
                              f"({len(scenario.events)} -> "
                              f"{len(current.events)} events)")).normalized()

@@ -12,7 +12,9 @@ artefacts from the terminal:
     repro-exp fig4
     repro-exp latency --trace latency.json
     repro-exp mttr
+    repro-exp federation
     repro-exp metrics --timeline
+    repro-exp metrics --federation
     repro-exp wakes
     repro-exp incidents --json incidents.json --markdown incidents.md
     repro-exp ablation-frequency
@@ -101,8 +103,51 @@ def _mttr(args) -> str:
     return out + _trace_outputs(args, tracer, timeline=False)
 
 
+def _federation(args) -> str:
+    """S-fed: the 3-site site-loss story, all arms."""
+    from repro.experiments import federation
+    return federation.format_result(federation.run(
+        seed=args.seed, population=args.population))
+
+
+def _metrics_federation(args) -> str:
+    """Per-site federation metrics after a site-loss storm."""
+    from repro.experiments.report import table
+    from repro.federation import build_federation
+    from repro.federation.config import three_site_config
+    from repro.ops.console import OperatorConsole
+
+    fed = build_federation(three_site_config(
+        population=120_000, seed=args.seed))
+    lon = fed.sites["lon"]
+    console = OperatorConsole(lon.notifications, lon.sim)
+    console.attach_federation(fed)
+    fed.start_traffic()
+    fed.run(2 * 3600.0)
+    nyc = fed.sites["nyc"]
+    for name in sorted(nyc.dc.hosts):
+        nyc.dc.hosts[name].crash()
+    fed.run(2 * 3600.0)
+
+    rows = []
+    for name in sorted(fed.sites):
+        s = fed.site_summary(name)
+        rows.append([name, "LOST" if s["lost"] else "up",
+                     f"{s['hosts_up']}/{s['hosts_total']}",
+                     s["open_conditions"], int(s.get("served", 0)),
+                     f"{s.get('user_minutes_lost', 0.0):.1f}",
+                     s.get("takeovers_hosted", 0)])
+    out = table(["site", "state", "hosts up", "open cond", "served",
+                 "user-min lost", "takeovers"],
+                rows, title="Federation metrics after a 4 h "
+                            "site-loss run (nyc lost at t+2h)")
+    return out + "\n\n" + console.board(fed.now)
+
+
 def _metrics(args) -> str:
     """Short full-fidelity fault storm; dump the metrics registry."""
+    if getattr(args, "federation", False):
+        return _metrics_federation(args)
     from repro.experiments.report import metrics_summary
     from repro.experiments.runner import FidelityHarness
     from repro.experiments.site import SiteConfig, build_site
@@ -233,6 +278,7 @@ _EXPERIMENTS = {
     "fig4": _fig4,
     "latency": _latency,
     "mttr": _mttr,
+    "federation": _federation,
     "metrics": _metrics,
     "wakes": _wakes,
     "incidents": _incidents,
@@ -268,6 +314,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "run (latency, mttr, metrics)")
     parser.add_argument("--timeline", action="store_true",
                         help="print the flat-ASCII incident timeline")
+    parser.add_argument("--federation", action="store_true",
+                        help="metrics: per-site federation view after "
+                             "a site-loss storm")
     parser.add_argument("--json", dest="json_out", metavar="FILE",
                         default=None,
                         help="write incident reports + reconciliation "

@@ -85,6 +85,14 @@ class AdministrationServers:
         #: optional relocation tier (repro.relocate.ServiceRelocator);
         #: sits between local healing and paging the on-call human
         self.relocator = relocator
+        #: which federation site this admin pair administers (single-site
+        #: worlds keep the default; the federation stamps its site name)
+        self.site_name = "london"
+        #: optional cross-site escalation hook wired by the federation:
+        #: ``cb(host_name, reason) -> int`` tries to land the host's
+        #: services at another site and returns how many relocations it
+        #: started.  It is the tier between local relocation and paging.
+        self.cross_site_cb = None
         self.agent_period = float(agent_period)
         #: "every X+5 minutes, where X is the frequency intelliagent run"
         self.watch_period = self.agent_period + 300.0
@@ -577,6 +585,13 @@ class AdministrationServers:
                 self._log_pool(f"{self.sim.now:.0f} RELOCATING "
                                f"{host_name} ({started} service(s)): "
                                f"{reason}")
+                return
+        if self.cross_site_cb is not None:
+            moved = self.cross_site_cb(host_name, reason)
+            if moved:
+                self._log_pool(f"{self.sim.now:.0f} CROSS-SITE RELOCATING "
+                               f"{host_name} ({moved} service(s)) off "
+                               f"{self.site_name}: {reason}")
                 return
         self._page_human(host_name, reason)
 

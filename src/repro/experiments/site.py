@@ -80,6 +80,9 @@ class SiteConfig:
     observe: bool = False
     #: telemetry rollup period, seconds
     observe_interval: float = 60.0
+    #: the site's name in a federation (DGSPL entries, WAN addressing,
+    #: cross-site escalation); the default keeps the paper's single site
+    site_name: str = "london"
     seed: int = 0
 
     @classmethod
@@ -161,7 +164,8 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
     databases: List[Database] = []
     for i in range(config.db_servers):
         model = _DB_MODELS[i % len(_DB_MODELS)]
-        host = dc.add_host(f"db{i:03d}", model, group="db")
+        host = dc.add_host(f"db{i:03d}", model, group="db",
+                           site=config.site_name)
         wire(host, "public0" if i % 2 == 0 else "public1")
         db_type = "oracle" if i % 5 < 3 else "sybase"
         slots = 6 if model == "sun-e10k" else 4
@@ -172,14 +176,16 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
     tp_hosts = []
     for i in range(config.tp_servers):
         model = _TP_MODELS[i % len(_TP_MODELS)]
-        host = dc.add_host(f"tp{i:03d}", model, group="tp")
+        host = dc.add_host(f"tp{i:03d}", model, group="tp",
+                           site=config.site_name)
         wire(host, "public0" if i % 2 == 0 else "public1")
         tp_hosts.append(host)
 
     webservers: List[WebServer] = []
     frontends: List[FrontendApp] = []
     for i in range(config.fe_servers):
-        host = dc.add_host(f"fe{i:03d}", _FE_MODEL, group="frontend")
+        host = dc.add_host(f"fe{i:03d}", _FE_MODEL, group="frontend",
+                           site=config.site_name)
         wire(host, "public0" if i % 2 == 0 else "public1")
         ws = WebServer(host, f"httpd_{host.name}")
         webservers.append(ws)
@@ -190,7 +196,8 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
     # spare servers: powerful boxes with one idle slot per tier, so any
     # relocatable service has somewhere templated to land
     for i in range(config.spare_servers):
-        host = dc.add_host(f"sp{i:03d}", "sun-e10k", group="spare")
+        host = dc.add_host(f"sp{i:03d}", "sun-e10k", group="spare",
+                           site=config.site_name)
         wire(host, "public0" if i % 2 == 0 else "public1")
         Database(host, f"oracle_{host.name}", db_type="oracle",
                  auto_start=False)
@@ -204,10 +211,11 @@ def build_site(config: Optional[SiteConfig] = None) -> Site:
 
     # admin pair + the external feed source
     adm1 = dc.add_host("adm01", "admin-server", group="admin",
-                       boot_duration=180.0)
+                       site=config.site_name, boot_duration=180.0)
     adm2 = dc.add_host("adm02", "admin-server", group="admin",
-                       boot_duration=180.0)
-    feed_src = dc.add_host("reuters-gw", "linux-x86", group="external")
+                       site=config.site_name, boot_duration=180.0)
+    feed_src = dc.add_host("reuters-gw", "linux-x86", group="external",
+                           site=config.site_name)
     for host in (adm1, adm2, feed_src):
         dc.connect(host.name, "public0")
         dc.connect(host.name, "public1")
@@ -292,6 +300,7 @@ def _deploy_agents(site: Site) -> None:
         channel=site.channel, notifications=site.notifications,
         agent_period=site.config.agent_period,
         ledger=ledger, control_plane=mode)
+    admin.site_name = site.config.site_name
     site.admin = admin
     admin_targets = ["adm01", "adm02"]
     for host in dc.all_hosts():

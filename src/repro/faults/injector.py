@@ -99,6 +99,9 @@ FAULT_CATALOG: Tuple[FaultSpec, ...] = (
               "crond dies: every agent on the host stops waking"),
     FaultSpec("lsf-crash", Category.LSF, "scheduler", "lsf_crash",
               "the batch scheduler master crashes"),
+    FaultSpec("wan-partition", Category.FIREWALL_NETWORK, "wan",
+              "wan_partition",
+              "every leased line to one federated site drops"),
 )
 
 _CATALOG_BY_KIND: Dict[str, FaultSpec] = {s.kind: s for s in FAULT_CATALOG}
@@ -296,6 +299,21 @@ class FaultInjector:
                       "name service already down")
         ns.fail()
         return self._record(Category.FIREWALL_NETWORK, "dns-fail", "dns")
+
+    def wan_partition(self, target) -> FaultEvent:
+        """Drop every leased line touching one federated site.
+
+        ``target`` is a ``(wan, site_name)`` pair -- the WAN belongs to
+        the federation, not to any single site's datacentre, so the
+        executor resolves it separately from the site pools.
+        """
+        wan, site = target
+        links = [l for l in wan.links_of(site) if l.reachable()]
+        self._require(bool(links), "wan-partition", f"wan:{site}",
+                      "site already fully partitioned")
+        wan.partition_site(site)
+        return self._record(Category.FIREWALL_NETWORK, "wan-partition",
+                            f"wan:{site}")
 
     # -- hardware faults -----------------------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""Multi-site geo-federation (``repro.federation``).
+
+Lifts the single-site world into N federated datacentres: each site
+keeps its own admin pair, condition ledger, spare pool and telemetry,
+while WAN links, a federated DGSPL assembled from per-site digests, a
+geo-aware global front door, and cross-site relocation couple them at
+deterministic lockstep barriers.
+"""
+
+from repro.federation.build import Federation, build_federation
+from repro.federation.config import (FederationConfig, SiteSpec,
+                                     three_site_config)
+from repro.federation.traffic import GeoTrafficDriver
+
+__all__ = ["Federation", "FederationConfig", "GeoTrafficDriver",
+           "SiteSpec", "build_federation", "three_site_config"]

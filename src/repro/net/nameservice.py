@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-__all__ = ["NameService"]
+__all__ = ["FederatedNameService", "NameService"]
 
 
 class NameService:
@@ -84,3 +84,86 @@ class NameService:
     def repair(self) -> None:
         self.up = True
         self.degraded = False
+
+
+class FederatedNameService:
+    """Cross-site delegation over the per-site authoritative servers.
+
+    Each site keeps its own :class:`NameService` as the authority for
+    its zone.  A federated lookup of ``"name@site"`` from ``from_site``
+    delegates to that zone over the WAN: a *partitioned* link fails the
+    lookup outright (unreachable), a *degraded* link (or a degraded
+    remote server) merely inflates the response time -- the two must
+    stay distinguishable.  Unqualified names resolve in the caller's
+    home zone, and :meth:`resolve_service` searches all zones
+    home-first, which is how a cross-site cutover becomes visible: the
+    takeover site registers the ``svc.<app>`` alias in *its* zone and
+    every other site finds it there on the next resolution.
+    """
+
+    def __init__(self, wan):
+        self.wan = wan
+        self.zones: Dict[str, NameService] = {}
+        self.lookups = 0
+        self.delegations = 0
+        self.wan_failures = 0
+
+    def delegate(self, site: str, ns: NameService) -> None:
+        """Install ``ns`` as the authority for ``site``'s zone."""
+        self.zones[site] = ns
+
+    def lookup(self, name: str, from_site: str
+               ) -> Tuple[Optional[str], float, Optional[str]]:
+        """Resolve ``name`` (optionally ``name@site``) as seen from
+        ``from_site``.  Returns (ip-or-None, response_ms, authority)."""
+        self.lookups += 1
+        target = from_site
+        if "@" in name:
+            name, target = name.rsplit("@", 1)
+        return self._ask(name, from_site, target)
+
+    def _ask(self, name: str, from_site: str, target: str
+             ) -> Tuple[Optional[str], float, Optional[str]]:
+        zone = self.zones.get(target)
+        if zone is None:
+            return (None, 0.0, None)
+        wan_ms = 0.0
+        if target != from_site:
+            self.delegations += 1
+            delivered, wan_ms = self.wan.send(from_site, target, 512)
+            if not delivered:
+                self.wan_failures += 1
+                return (None, 0.0, None)
+        ip, response_ms = zone.lookup(name)
+        if ip is None:
+            return (None, 2.0 * wan_ms + response_ms, target)
+        return (ip, 2.0 * wan_ms + response_ms, target)
+
+    def resolve_service(self, alias: str, from_site: str
+                        ) -> Tuple[Optional[str], float, Optional[str]]:
+        """Find a service alias wherever it lives: the caller's own
+        zone first, then every reachable peer zone in name order."""
+        self.lookups += 1
+        order = [from_site] + [s for s in sorted(self.zones)
+                               if s != from_site]
+        spent_ms = 0.0
+        for site in order:
+            ip, ms, authority = self._ask(alias, from_site, site)
+            spent_ms += ms
+            if ip is not None:
+                return (ip, spent_ms, authority)
+        return (None, spent_ms, None)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters only: zone records snapshot with their sites and
+        the WAN snapshots with the federation."""
+        return {"lookups": self.lookups,
+                "delegations": self.delegations,
+                "wan_failures": self.wan_failures}
+
+    def restore_state(self, state: dict) -> None:
+        self.lookups = int(state["lookups"])
+        self.delegations = int(state["delegations"])
+        self.wan_failures = int(state["wan_failures"])

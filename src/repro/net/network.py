@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Lan", "Nic"]
+__all__ = ["Lan", "Nic", "Wan", "WanLink"]
 
 
 class Nic:
@@ -197,3 +197,170 @@ class Lan:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.up else "DOWN"
         return f"<Lan {self.name} ({self.kind}) {state} hosts={len(self.nics)}>"
+
+
+class WanLink:
+    """One long-haul link between two named sites.
+
+    Where a :class:`Lan` is a shared segment inside a datacentre, a
+    ``WanLink`` is the leased line between two of them.  Its failure
+    modes are deliberately distinct:
+
+    * ``partition()`` -- the link is *unreachable*: every send fails.
+    * ``degrade()``   -- the link is *slow*: sends still deliver, at
+      ``DEGRADED_FACTOR`` times the base latency.
+
+    Unreachable and slow must never be conflated: a partitioned site
+    drops out of digest exchange entirely (its state goes stale at the
+    federation), while a degraded one merely answers late.
+    """
+
+    DEGRADED_FACTOR = 8.0
+
+    __slots__ = ("a", "b", "name", "base_latency_ms", "up", "degraded",
+                 "total_bytes", "total_messages", "drops")
+
+    def __init__(self, a: str, b: str, *, base_latency_ms: float = 70.0):
+        if a == b:
+            raise ValueError(f"WAN link needs two distinct sites, got {a!r}")
+        self.a, self.b = sorted((a, b))
+        self.name = f"wan:{self.a}<->{self.b}"
+        self.base_latency_ms = float(base_latency_ms)
+        self.up = True
+        self.degraded = False
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.drops = 0
+
+    # -- failure model --------------------------------------------------------
+
+    def partition(self) -> None:
+        self.up = False
+
+    def degrade(self) -> None:
+        self.degraded = True
+
+    def repair(self) -> None:
+        self.up = True
+        self.degraded = False
+
+    def reachable(self) -> bool:
+        return self.up
+
+    def latency_ms(self) -> float:
+        if not self.up:
+            return 0.0
+        if self.degraded:
+            return self.base_latency_ms * self.DEGRADED_FACTOR
+        return self.base_latency_ms
+
+    def send(self, nbytes: int) -> Tuple[bool, float]:
+        """Move ``nbytes`` across the link.  Returns (delivered,
+        latency_ms); a partitioned link drops the message."""
+        if not self.up:
+            self.drops += 1
+            return (False, 0.0)
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        return (True, self.latency_ms())
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"up": self.up, "degraded": self.degraded,
+                "total_bytes": self.total_bytes,
+                "total_messages": self.total_messages,
+                "drops": self.drops}
+
+    def restore_state(self, state: dict) -> None:
+        self.up = bool(state["up"])
+        self.degraded = bool(state["degraded"])
+        self.total_bytes = int(state["total_bytes"])
+        self.total_messages = int(state["total_messages"])
+        self.drops = int(state["drops"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "PARTITIONED"
+        if self.up and self.degraded:
+            state = "degraded"
+        return f"<WanLink {self.a}<->{self.b} {state}>"
+
+
+class Wan:
+    """The full mesh of :class:`WanLink` segments between named sites.
+
+    Intra-site paths (``a == b``) are always reachable at zero WAN
+    latency -- the LANs model those.  Links are keyed by the sorted
+    site pair, so lookups are direction-free.
+    """
+
+    def __init__(self):
+        self.links: Dict[Tuple[str, str], WanLink] = {}
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return tuple(sorted((a, b)))       # type: ignore[return-value]
+
+    def connect(self, a: str, b: str, *,
+                base_latency_ms: float = 70.0) -> WanLink:
+        link = WanLink(a, b, base_latency_ms=base_latency_ms)
+        self.links[self._key(a, b)] = link
+        return link
+
+    def link(self, a: str, b: str) -> Optional[WanLink]:
+        return self.links.get(self._key(a, b))
+
+    def links_of(self, site: str) -> List[WanLink]:
+        return [ln for key, ln in sorted(self.links.items()) if site in key]
+
+    def reachable(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        link = self.link(a, b)
+        return link is not None and link.reachable()
+
+    def latency_ms(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        link = self.link(a, b)
+        return link.latency_ms() if link is not None else 0.0
+
+    def send(self, a: str, b: str, nbytes: int) -> Tuple[bool, float]:
+        if a == b:
+            return (True, 0.0)
+        link = self.link(a, b)
+        if link is None:
+            return (False, 0.0)
+        return link.send(nbytes)
+
+    # -- site-scoped failure helpers (split-brain / site isolation) ----------
+
+    def partition_site(self, site: str) -> int:
+        """Partition every link touching ``site``; returns how many."""
+        touched = self.links_of(site)
+        for link in touched:
+            link.partition()
+        return len(touched)
+
+    def repair_site(self, site: str) -> int:
+        touched = self.links_of(site)
+        for link in touched:
+            link.repair()
+        return len(touched)
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"links": {f"{a}|{b}": link.snapshot_state()
+                          for (a, b), link in sorted(self.links.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        for name, link_state in state["links"].items():
+            a, b = name.split("|", 1)
+            link = self.link(a, b)
+            if link is None:
+                raise ValueError(f"snapshot names unknown WAN link {name!r}")
+            link.restore_state(link_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Wan links={len(self.links)}>"

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Delivery", "AgentChannel"]
+__all__ = ["AgentChannel", "Delivery", "WanCourier"]
 
 
 @dataclass
@@ -124,3 +124,48 @@ class AgentChannel:
             "bytes_public": sum(v for k, v in self.bytes_by_lan.items()
                                 if k != self.private_lan),
         }
+
+
+class WanCourier:
+    """Site-to-site control-plane transport (digest exchange, cross-site
+    escalation chatter) over the :class:`repro.net.network.Wan` mesh.
+
+    The WAN analogue of :class:`AgentChannel`: there is no private/public
+    fallback between datacentres -- one leased line per site pair -- so
+    a partitioned link simply fails the delivery and the caller's
+    freshness window does the rest.
+    """
+
+    def __init__(self, wan):
+        self.wan = wan
+        self.sent = 0
+        self.delivered = 0
+        self.failed = 0
+        self.bytes_by_pair: Dict[str, int] = {}
+
+    def send(self, src_site: str, dst_site: str,
+             nbytes: int = 4096) -> Delivery:
+        self.sent += 1
+        ok, latency_ms = self.wan.send(src_site, dst_site, nbytes)
+        if not ok:
+            self.failed += 1
+            return Delivery(False, error="wan-partitioned")
+        self.delivered += 1
+        pair = "|".join(sorted((src_site, dst_site)))
+        self.bytes_by_pair[pair] = self.bytes_by_pair.get(pair, 0) + nbytes
+        return Delivery(True, lan_name=pair, lan_kind="wan",
+                        latency_ms=latency_ms)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"sent": self.sent, "delivered": self.delivered,
+                "failed": self.failed,
+                "bytes_by_pair": dict(sorted(self.bytes_by_pair.items()))}
+
+    def restore_state(self, state: dict) -> None:
+        self.sent = int(state["sent"])
+        self.delivered = int(state["delivered"])
+        self.failed = int(state["failed"])
+        self.bytes_by_pair = {k: int(v)
+                              for k, v in state["bytes_by_pair"].items()}

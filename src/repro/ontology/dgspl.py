@@ -21,7 +21,8 @@ from repro.cluster.specs import SPEC_CATALOGUE
 from repro.ontology.base import OntologyDoc, OntologyError
 from repro.ontology.dlsp import Dlsp
 
-__all__ = ["GlobalServiceEntry", "Dgspl", "build_dgspl", "host_entries"]
+__all__ = ["GlobalServiceEntry", "Dgspl", "build_dgspl", "host_entries",
+           "TierDigest", "SiteDigest", "digest_of", "FederatedDgspl"]
 
 
 @dataclass(frozen=True)
@@ -164,3 +165,165 @@ def build_dgspl(dlsps: Iterable[Dlsp], now: float = 0.0) -> Dgspl:
     for dlsp in dlsps:
         out.entries.extend(host_entries(dlsp))
     return out
+
+
+# -- federation: per-site digests instead of raw DLSPs -----------------------
+
+@dataclass(frozen=True)
+class TierDigest:
+    """One application tier of one site, aggregated."""
+
+    app_type: str
+    services: int            # healthy services advertised
+    hosts: int               # distinct servers carrying them
+    total_load: float
+    total_power: float
+
+    @property
+    def mean_load(self) -> float:
+        return self.total_load / self.services if self.services else 0.0
+
+    def to_dict(self) -> dict:
+        return {"app_type": self.app_type, "services": self.services,
+                "hosts": self.hosts, "total_load": self.total_load,
+                "total_power": self.total_power}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TierDigest":
+        return cls(app_type=str(doc["app_type"]),
+                   services=int(doc["services"]), hosts=int(doc["hosts"]),
+                   total_load=float(doc["total_load"]),
+                   total_power=float(doc["total_power"]))
+
+
+@dataclass(frozen=True)
+class SiteDigest:
+    """What one site ships to the federation instead of its raw DLSPs.
+
+    Shipping every DLSP across the WAN would scale the control-plane
+    traffic with host count; the digest scales with *tier* count.  The
+    federation's global view is assembled from these, each under its
+    own freshness window (:class:`FederatedDgspl`).
+    """
+
+    site: str
+    generated_at: float
+    hosts_up: int
+    tiers: Dict[str, TierDigest]
+
+    def capacity(self, app_type: str) -> float:
+        """Spare-power score the geo steering weighs: aggregate tier
+        power deflated by its mean load."""
+        tier = self.tiers.get(app_type)
+        if tier is None or tier.services == 0:
+            return 0.0
+        return tier.total_power / (1.0 + tier.mean_load)
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "generated_at": self.generated_at,
+                "hosts_up": self.hosts_up,
+                "tiers": {k: t.to_dict()
+                          for k, t in sorted(self.tiers.items())}}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SiteDigest":
+        return cls(site=str(doc["site"]),
+                   generated_at=float(doc["generated_at"]),
+                   hosts_up=int(doc["hosts_up"]),
+                   tiers={k: TierDigest.from_dict(t)
+                          for k, t in doc["tiers"].items()})
+
+
+def digest_of(dgspl: Dgspl, site: str, *, hosts_up: int = 0) -> SiteDigest:
+    """Aggregate a site's DGSPL into its federation digest."""
+    by_tier: Dict[str, List[GlobalServiceEntry]] = {}
+    for entry in dgspl.entries:
+        by_tier.setdefault(entry.app_type, []).append(entry)
+    tiers = {
+        app_type: TierDigest(
+            app_type=app_type,
+            services=len(entries),
+            hosts=len({e.server for e in entries}),
+            total_load=sum(e.current_load for e in entries),
+            total_power=sum(e.power for e in entries))
+        for app_type, entries in sorted(by_tier.items())
+    }
+    return SiteDigest(site=site, generated_at=dgspl.generated_at,
+                      hosts_up=hosts_up, tiers=tiers)
+
+
+class FederatedDgspl:
+    """The global service view, merged from per-site digests.
+
+    Each site's digest carries two clocks: when the site *generated*
+    it (its own DGSPL build time) and when the federation *received*
+    it (the last successful WAN exchange).  A digest is fresh only if
+    both are inside the site's freshness window -- a partitioned site
+    stops being received, a dead site stops generating, and either
+    path ages the site out of the merged view.
+    """
+
+    def __init__(self, *, freshness: float = 1800.0):
+        self.default_freshness = float(freshness)
+        self.freshness: Dict[str, float] = {}
+        self.digests: Dict[str, SiteDigest] = {}
+        self.received_at: Dict[str, float] = {}
+        self.ingested = 0
+
+    def set_freshness(self, site: str, window: float) -> None:
+        self.freshness[site] = float(window)
+
+    def window_of(self, site: str) -> float:
+        return self.freshness.get(site, self.default_freshness)
+
+    def ingest(self, digest: SiteDigest, now: float) -> None:
+        self.digests[digest.site] = digest
+        self.received_at[digest.site] = float(now)
+        self.ingested += 1
+
+    def digest(self, site: str) -> Optional[SiteDigest]:
+        return self.digests.get(site)
+
+    def is_fresh(self, site: str, now: float) -> bool:
+        digest = self.digests.get(site)
+        if digest is None:
+            return False
+        window = self.window_of(site)
+        return (now - self.received_at[site] <= window
+                and now - digest.generated_at <= window)
+
+    def fresh_sites(self, now: float) -> List[str]:
+        return [s for s in sorted(self.digests) if self.is_fresh(s, now)]
+
+    def capacity(self, site: str, app_type: str, now: float) -> float:
+        """Steering weight input; a stale site advertises nothing."""
+        if not self.is_fresh(site, now):
+            return 0.0
+        return self.digests[site].capacity(app_type)
+
+    def merged_entries(self) -> Dict[str, Dict[str, TierDigest]]:
+        """site -> app_type -> tier digest, for boards and reports."""
+        return {site: dict(sorted(digest.tiers.items()))
+                for site, digest in sorted(self.digests.items())}
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "default_freshness": self.default_freshness,
+            "freshness": dict(sorted(self.freshness.items())),
+            "digests": {s: d.to_dict()
+                        for s, d in sorted(self.digests.items())},
+            "received_at": dict(sorted(self.received_at.items())),
+            "ingested": self.ingested,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.default_freshness = float(state["default_freshness"])
+        self.freshness = {k: float(v)
+                          for k, v in state["freshness"].items()}
+        self.digests = {s: SiteDigest.from_dict(d)
+                        for s, d in state["digests"].items()}
+        self.received_at = {k: float(v)
+                            for k, v in state["received_at"].items()}
+        self.ingested = int(state["ingested"])

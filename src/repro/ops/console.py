@@ -54,6 +54,8 @@ class OperatorConsole:
         self.last_condition_version = 0
         #: live alert feed (repro.observe.alerts.AlertManager)
         self.alert_manager = None
+        #: geo-federation feed (repro.federation.Federation)
+        self.federation = None
         channel.subscribe(self._on_notification)
 
     def attach_ledger(self, ledger) -> None:
@@ -70,6 +72,10 @@ class OperatorConsole:
     def attach_alerts(self, manager) -> None:
         """Show the alerting tier's firing alerts as a board pane."""
         self.alert_manager = manager
+
+    def attach_federation(self, fed) -> None:
+        """Add the geo-federation pane: one line per site."""
+        self.federation = fed
 
     # -- feed ----------------------------------------------------------------
 
@@ -148,6 +154,8 @@ class OperatorConsole:
                              f"{alert.subject}{fid}  "
                              f"({age_min:.0f} min, "
                              f"value {alert.value:.1f})")
+        if self.federation is not None:
+            lines.extend(self._federation_pane())
         counters = self._live_counters()
         if counters:
             lines.append("  -- site counters: " + "  ".join(
@@ -158,6 +166,24 @@ class OperatorConsole:
             lines.append(f"  -- control plane: "
                          f"v{self.last_condition_version}  {kinds}")
         return "\n".join(lines)
+
+    def _federation_pane(self) -> List[str]:
+        """One line per federated site: hosts up, open conditions,
+        demand served and user-minutes lost."""
+        fed = self.federation
+        lines = [f"  -- federation: {len(fed.sites)} site(s), "
+                 f"{fed.site_loss_events} loss event(s)"]
+        for name in sorted(fed.sites):
+            s = fed.site_summary(name)
+            state = "LOST" if s["lost"] else "up"
+            line = (f"     {name:<8s} {state:<4s} "
+                    f"hosts {s['hosts_up']}/{s['hosts_total']}  "
+                    f"open-cond {s['open_conditions']}")
+            if "served" in s:
+                line += (f"  served {s['served']:g}"
+                         f"  user-min-lost {s['user_minutes_lost']:.0f}")
+            lines.append(line)
+        return lines
 
     #: counters worth a line on the operators' pane of glass
     _BOARD_COUNTERS = ("faults.injected", "agent.faults_found",

@@ -23,11 +23,14 @@ checkpoints:
 from repro.persist.core import (FORMAT_VERSION, QuiescenceError,
                                 Snapshottable, canonical_json, state_hash)
 from repro.persist.site_state import restore_site, snapshot_site
+from repro.persist.federation_state import (restore_federation,
+                                            snapshot_federation)
 from repro.persist.checkpoint import CheckpointManager
 
 __all__ = [
     "FORMAT_VERSION", "QuiescenceError", "Snapshottable",
     "canonical_json", "state_hash",
     "snapshot_site", "restore_site",
+    "snapshot_federation", "restore_federation",
     "CheckpointManager",
 ]

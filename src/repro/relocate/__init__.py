@@ -7,6 +7,8 @@ under a timeout budget), front-door/name-service rerouting, and the
 campaign-level relocation model the year-scale experiments use.
 """
 
+from repro.relocate.crosssite import (CrossSiteRecord,
+                                      CrossSiteRelocator)
 from repro.relocate.model import (RELOCATABLE, RelocationPolicy,
                                   RelocationStats, apply_relocation)
 from repro.relocate.orchestrator import RelocationRecord, ServiceRelocator
@@ -15,6 +17,7 @@ from repro.relocate.reroute import RerouteDirectory, service_alias
 from repro.relocate.spares import SparePool
 
 __all__ = [
+    "CrossSiteRecord", "CrossSiteRelocator",
     "RELOCATABLE", "RelocationPolicy", "RelocationStats",
     "apply_relocation", "RelocationRecord", "ServiceRelocator",
     "PlacementPlan", "PlacementPlanner", "RerouteDirectory",

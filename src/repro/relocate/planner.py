@@ -78,7 +78,8 @@ class PlacementPlanner:
     # -- the constraint set --------------------------------------------------
 
     def _check_host(self, host_name: str, template: AppTemplate,
-                    failed: set) -> Optional[str]:
+                    failed: set, failed_sites: set = frozenset()
+                    ) -> Optional[str]:
         """First violated constraint for placing ``template`` on
         ``host_name``, or None if the host qualifies."""
         if host_name in failed:
@@ -86,6 +87,8 @@ class PlacementPlanner:
         host = self.dc.hosts.get(host_name)
         if host is None:
             return "unknown host"
+        if host.site in failed_sites:
+            return "anti-affinity: site failing in this incident"
         if not host.is_up:
             return "host down"
         for fs_point in template.filesystems:
@@ -153,16 +156,20 @@ class PlacementPlanner:
     # -- planning ------------------------------------------------------------
 
     def plan(self, template: AppTemplate, source_host: str, *,
-             failed_hosts: Sequence[str] = ()) -> Optional[PlacementPlan]:
+             failed_hosts: Sequence[str] = (),
+             failed_sites: Sequence[str] = ()) -> Optional[PlacementPlan]:
         """Pick the best relocation target, or None when no host
-        satisfies the constraints."""
+        satisfies the constraints.  ``failed_sites`` is the cross-site
+        tier's anti-affinity: never place back into a datacentre that
+        is failing in this incident."""
         failed = set(failed_hosts) | {source_host}
+        sites = set(failed_sites)
         spare_slots = dict(self._spare_candidates(template))
         peer_slots = dict(self._peer_candidates(template, failed))
         rejections: Dict[str, str] = {}
         scored: List[tuple] = []
         for host_name in sorted(set(spare_slots) | set(peer_slots)):
-            why = self._check_host(host_name, template, failed)
+            why = self._check_host(host_name, template, failed, sites)
             if why is not None:
                 rejections[host_name] = why
                 continue

@@ -29,7 +29,8 @@ from repro.traffic.frontdoor import FrontDoor
 from repro.traffic.slo import Sli
 from repro.traffic.workload import DemandCurve
 
-__all__ = ["FluidTrafficEngine", "DiscreteTrafficEngine", "doors_for_site"]
+__all__ = ["FluidTrafficEngine", "DiscreteTrafficEngine", "doors_for_site",
+           "dispatch_fluid"]
 
 
 class _EngineBase:
@@ -164,15 +165,31 @@ class _EngineBase:
         return []
 
 
+def dispatch_fluid(door, n: int, now: float,
+                   record_batch, record_shed) -> None:
+    """Route and serve one aggregated batch through a door.
+
+    The shared serving step of the fluid path: the site engine and the
+    federation's geo traffic driver both account through it, so their
+    per-batch semantics (one state sample per app per tick, shed on
+    no-live-targets) cannot drift apart."""
+    alloc, shed = door.route(n, now)
+    for app, count in alloc:
+        served, failed, ms = app.serve_batch(count)
+        record_batch(served, failed, ms)
+    if shed:
+        record_shed(shed)
+
+
 class FluidTrafficEngine(_EngineBase):
     """Aggregated-flow mode: one serve_batch call per server per tick."""
 
     def _dispatch(self, cls_name: str, n: int, now: float) -> None:
-        alloc, shed = self.doors[cls_name].route(n, now)
-        for app, count in alloc:
-            served, failed, ms = app.serve_batch(count)
-            self._account(cls_name, served, failed, ms)
-        self._account_shed(cls_name, shed)
+        dispatch_fluid(
+            self.doors[cls_name], n, now,
+            lambda served, failed, ms:
+                self._account(cls_name, served, failed, ms),
+            lambda shed: self._account_shed(cls_name, shed))
 
 
 class DiscreteTrafficEngine(_EngineBase):

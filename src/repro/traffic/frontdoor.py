@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["FrontDoor", "Allocation"]
+__all__ = ["FrontDoor", "GeoFrontDoor", "Allocation"]
 
 #: (app, request count) pairs plus the shed remainder
 Allocation = Tuple[List[Tuple[object, int]], int]
@@ -213,3 +213,116 @@ class FrontDoor:
     def __repr__(self) -> str:   # pragma: no cover - debug aid
         return (f"<FrontDoor {self.app_type} servers={len(self.apps)} "
                 f"down={len(self._down)}>")
+
+
+class GeoFrontDoor:
+    """The federation's global tier above the per-site front doors.
+
+    Splits one region's demand batch across *sites* the same way a
+    :class:`FrontDoor` splits a site's batch across servers: a
+    deterministic largest-remainder allocation over steering weights.
+    A site's weight is its federated-digest capacity for the tier
+    deflated by the WAN distance between the user region and the site,
+    so traffic prefers close, underloaded datacentres.  Sites whose
+    digest has gone stale (dead, or WAN-partitioned away) and sites the
+    federation monitor has flagged down get weight zero; when every
+    site is dark the batch is shed here, before any per-site door sees
+    it.
+
+    With ``geo_steering`` off the tier degrades to the pre-federation
+    behaviour: every region's demand goes to its home site, healthy or
+    not -- the A/B arm the bench prices.
+    """
+
+    #: latency deflation scale (ms): a site this far away halves its weight
+    LATENCY_SCALE_MS = 100.0
+
+    def __init__(self, fed_dgspl, *, home_site, region_latency_ms,
+                 geo_steering: bool = True):
+        self.fed_dgspl = fed_dgspl
+        #: region name -> its home (lowest-latency) site
+        self.home_site = dict(home_site)
+        #: (region, site) -> user-path latency in ms
+        self.region_latency_ms = dict(region_latency_ms)
+        self.geo_steering = bool(geo_steering)
+        self.sites: List[str] = []
+        self.flagged_down: set = set()
+        self.steered = 0
+        self.shed_total = 0
+        self.remote_steered = 0
+
+    def register_site(self, site: str) -> None:
+        if site not in self.sites:
+            self.sites.append(site)
+            self.sites.sort()
+
+    def flag_down(self, site: str) -> None:
+        self.flagged_down.add(site)
+
+    def flag_up(self, site: str) -> None:
+        self.flagged_down.discard(site)
+
+    def latency_ms(self, region: str, site: str) -> float:
+        return float(self.region_latency_ms.get((region, site), 0.0))
+
+    def _weight(self, region: str, site: str, app_type: str,
+                now: float) -> float:
+        capacity = self.fed_dgspl.capacity(site, app_type, now)
+        if capacity <= 0.0:
+            return 0.0
+        distance = self.latency_ms(region, site)
+        return capacity / (1.0 + distance / self.LATENCY_SCALE_MS)
+
+    def steer(self, region: str, app_type: str, n: int,
+              now: float) -> Tuple[List[Tuple[str, int]], int]:
+        """Split ``n`` requests from ``region`` across sites.
+
+        Returns ``([(site, count), ...], shed)`` with counts summing
+        with ``shed`` to ``n`` exactly."""
+        if n <= 0:
+            return ([], 0)
+        home = self.home_site.get(region)
+        if not self.geo_steering:
+            # static pre-federation routing: home site or nothing
+            if home is None or home in self.flagged_down:
+                self.shed_total += n
+                return ([], n)
+            self.steered += n
+            return ([(home, n)], 0)
+
+        candidates = [s for s in self.sites if s not in self.flagged_down]
+        weights = {s: self._weight(region, s, app_type, now)
+                   for s in candidates}
+        live = [s for s in candidates if weights[s] > 0.0]
+        if not live:
+            self.shed_total += n
+            return ([], n)
+
+        total = sum(weights[s] for s in live)
+        exact = [n * weights[s] / total for s in live]
+        counts = [int(x) for x in exact]
+        rem = n - sum(counts)
+        order = sorted(range(len(live)),
+                       key=lambda i: (-(exact[i] - counts[i]), i))
+        for i in order[:rem]:
+            counts[i] += 1
+        self.steered += n
+        self.remote_steered += sum(c for s, c in zip(live, counts)
+                                   if s != home)
+        return ([(s, c) for s, c in zip(live, counts) if c > 0], 0)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "flagged_down": sorted(self.flagged_down),
+            "steered": self.steered,
+            "shed_total": self.shed_total,
+            "remote_steered": self.remote_steered,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.flagged_down = set(state["flagged_down"])
+        self.steered = int(state["steered"])
+        self.shed_total = int(state["shed_total"])
+        self.remote_steered = int(state["remote_steered"])

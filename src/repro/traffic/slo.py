@@ -27,7 +27,8 @@ from repro.sim.calendar import HOUR, MINUTE, is_business_hours, is_weekend
 from repro.trace.metrics import Histogram
 
 __all__ = ["LATENCY_BUCKETS_MS", "Sli", "Slo", "SloStatus",
-           "IncidentWindow", "QosOutcome", "join_demand", "burn_rate"]
+           "IncidentWindow", "QosOutcome", "join_demand", "burn_rate",
+           "rollup_slis"]
 
 
 def burn_rate(attempted: float, bad: float, objective: float) -> float:
@@ -299,3 +300,25 @@ def join_demand(curve, windows: Iterable[IncidentWindow], *,
                     for name, mask in masks.items()}
     return QosOutcome(horizon=horizon, step=step, attempted=attempted,
                       failed=failed, user_minutes=user_minutes)
+
+
+def rollup_slis(slis) -> dict:
+    """Request-weighted global rollup of many :class:`Sli` streams.
+
+    The federation keeps one SLI per (site, class); the global
+    availability users experience is the *request-weighted* merge --
+    sum the raw attempted/served/shed counters, never average the
+    per-site ratios (a tiny healthy site must not mask a large dark
+    one)."""
+    attempted = served = shed = 0.0
+    for sli in slis:
+        attempted += sli.attempted
+        served += sli.served
+        shed += sli.shed
+    return {
+        "attempted": attempted,
+        "served": served,
+        "failed": attempted - served,
+        "shed": shed,
+        "availability": served / attempted if attempted > 0 else 1.0,
+    }

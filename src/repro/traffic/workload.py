@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.sim.calendar import DAY, HOUR, MINUTE, is_weekend, time_of_day
 
-__all__ = ["TrafficClass", "DiurnalProfile", "DemandCurve",
-           "FINANCIAL_CLASSES", "FINANCIAL_PROFILE", "financial_curve"]
+__all__ = ["TrafficClass", "DiurnalProfile", "DemandCurve", "Region",
+           "FINANCIAL_CLASSES", "FINANCIAL_PROFILE", "FINANCIAL_REGIONS",
+           "financial_curve", "regional_curves"]
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -112,7 +113,8 @@ class DemandCurve:
     def __init__(self, classes: Iterable[TrafficClass],
                  population: int,
                  profile: DiurnalProfile = FINANCIAL_PROFILE,
-                 peak_active_fraction: float = PEAK_ACTIVE_FRACTION):
+                 peak_active_fraction: float = PEAK_ACTIVE_FRACTION,
+                 tz_offset: float = 0.0):
         self.classes: Tuple[TrafficClass, ...] = tuple(classes)
         if not self.classes:
             raise ValueError("need at least one traffic class")
@@ -121,13 +123,18 @@ class DemandCurve:
         self.population = int(population)
         self.profile = profile
         self.peak_active_fraction = float(peak_active_fraction)
+        #: seconds added to sim time before evaluating the diurnal
+        #: profile -- a region east of the reference peaks earlier
+        #: (follow-the-sun; 0.0 keeps the single-site behaviour).
+        self.tz_offset = float(tz_offset)
 
     # -- request rates -------------------------------------------------------
 
     def rate(self, cls: TrafficClass, t: ArrayLike) -> ArrayLike:
         """Instantaneous request rate (requests/second) of one class."""
         mean_rps = self.population * cls.requests_per_user_day / DAY
-        return mean_rps * self.profile.shape(t, cls.weekend_factor)
+        return mean_rps * self.profile.shape(t + self.tz_offset,
+                                             cls.weekend_factor)
 
     def expected_requests(self, cls: TrafficClass, t0: float,
                           t1: float) -> float:
@@ -159,7 +166,7 @@ class DemandCurve:
         demand)."""
         peak = float(np.max(self.profile.weights))
         scale = self.population * self.peak_active_fraction / peak
-        return scale * self.profile.shape(t, 0.25)
+        return scale * self.profile.shape(t + self.tz_offset, 0.25)
 
     def incident_user_minutes(self, start: float, duration: float,
                               impact: float = 1.0,
@@ -180,3 +187,56 @@ class DemandCurve:
 def financial_curve(population: int = 1_000_000) -> DemandCurve:
     """The default demand model of the paper's site."""
     return DemandCurve(FINANCIAL_CLASSES, population)
+
+
+# -- regions (the federation's follow-the-sun view) --------------------------
+
+@dataclass(frozen=True)
+class Region:
+    """One user geography served by the federation."""
+
+    name: str
+    #: fraction of the global population homed here
+    share: float
+    #: hours ahead of the reference clock (east positive): this
+    #: region's business day peaks ``utc_offset_hours`` earlier in
+    #: sim time, which is what makes demand follow the sun
+    utc_offset_hours: float
+
+
+#: The three-geography split the federation experiments use: the
+#: Americas, Europe/Middle-East/Africa, and Asia-Pacific trading days.
+FINANCIAL_REGIONS: Tuple[Region, ...] = (
+    Region("amer", 0.40, -5.0),
+    Region("apac", 0.25, +8.0),
+    Region("emea", 0.35, 0.0),
+)
+
+
+def regional_curves(population: int,
+                    regions: Iterable[Region] = FINANCIAL_REGIONS,
+                    classes: Iterable[TrafficClass] = None,
+                    profile: DiurnalProfile = FINANCIAL_PROFILE,
+                    ) -> Dict[str, DemandCurve]:
+    """Split one global population into per-region demand curves.
+
+    Region populations are the rounded shares with the last region (in
+    name order) absorbing the rounding remainder, so the totals add up
+    to ``population`` exactly."""
+    regions = sorted(regions, key=lambda r: r.name)
+    classes = tuple(classes) if classes is not None else FINANCIAL_CLASSES
+    total_share = sum(r.share for r in regions)
+    if not regions or total_share <= 0:
+        raise ValueError("need at least one region with positive share")
+    curves: Dict[str, DemandCurve] = {}
+    allotted = 0
+    for i, region in enumerate(regions):
+        if i + 1 == len(regions):
+            pop = population - allotted
+        else:
+            pop = int(round(population * region.share / total_share))
+        allotted += pop
+        curves[region.name] = DemandCurve(
+            classes, pop, profile=profile,
+            tz_offset=region.utc_offset_hours * HOUR)
+    return curves
